@@ -1,0 +1,289 @@
+package zmesh
+
+// Benchmark harness: one benchmark per evaluation artefact (see the
+// experiment index in DESIGN.md / EXPERIMENTS.md). Each BenchmarkExp* runs
+// the corresponding experiment end-to-end and reports its headline number
+// as a custom metric; the Benchmark{Compress,Decompress,...} functions
+// below measure the raw pipeline throughput that T8 reports.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks use a reduced dataset scale so a full sweep
+// stays in CI-friendly time; cmd/zmesh-bench runs the paper-scale suite.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite shares one dataset suite across benchmarks: checkpoints are
+// generated once and cached.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.Resolution = 128
+		cfg.MaxDepth = 3
+		cfg.Problems = []string{"sod", "sedov", "blast", "kh"}
+		cfg.Fields = []string{"dens", "pres"}
+		cfg.Bounds = []float64{1e-2, 1e-3, 1e-4, 1e-5}
+		suite = experiments.NewSuite(cfg)
+	})
+	return suite
+}
+
+// lastCell parses the trailing numeric cell of a table's note line like
+// "max zMesh(hilbert) gain over level order: +23.4%".
+func noteNumber(note string) float64 {
+	fields := strings.Fields(note)
+	if len(fields) == 0 {
+		return 0
+	}
+	last := strings.TrimSuffix(strings.TrimPrefix(fields[len(fields)-1], "+"), "%")
+	v, err := strconv.ParseFloat(last, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	s := benchSuite(b)
+	// Generate datasets outside the timed region.
+	for _, p := range s.Cfg.Problems {
+		if _, err := s.Checkpoint(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = s.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// BenchmarkDatasetGeneration reproduces T1 (dataset inventory): the cost of
+// generating one full checkpoint (simulation + AMR projection).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.Resolution = 96
+	cfg.MaxDepth = 3
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(cfg) // fresh suite: defeat the cache
+		if _, err := s.Checkpoint("sedov"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmoothness reproduces F2: total-variation smoothness of every
+// layout on every dataset/field. Reports the mean zMesh/hilbert improvement.
+func BenchmarkSmoothness(b *testing.B) {
+	tbl := runExperiment(b, "F2")
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "zmesh/hilbert") {
+			b.ReportMetric(noteNumber(n), "mean-improvement-%")
+		}
+	}
+}
+
+// BenchmarkSZRatio reproduces F3: SZ compression-ratio sweep across error
+// bounds and layouts. Reports the best zMesh gain over the baseline.
+func BenchmarkSZRatio(b *testing.B) {
+	tbl := runExperiment(b, "F3")
+	if len(tbl.Notes) > 0 {
+		b.ReportMetric(noteNumber(tbl.Notes[0]), "max-gain-%")
+	}
+}
+
+// BenchmarkZFPRatio reproduces F4: the same sweep with the ZFP codec.
+func BenchmarkZFPRatio(b *testing.B) {
+	tbl := runExperiment(b, "F4")
+	if len(tbl.Notes) > 0 {
+		b.ReportMetric(noteNumber(tbl.Notes[0]), "max-gain-%")
+	}
+}
+
+// BenchmarkRateDistortion reproduces F5: bits/value and PSNR per bound.
+func BenchmarkRateDistortion(b *testing.B) {
+	runExperiment(b, "F5")
+}
+
+// BenchmarkErrorCompliance reproduces T6: point-wise bound verification for
+// every codec × layout × bound. Fails the benchmark on any violation.
+func BenchmarkErrorCompliance(b *testing.B) {
+	tbl := runExperiment(b, "T6")
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			b.Fatalf("bad compliance cell %q", row[4])
+		}
+		if v > 1 {
+			b.Fatalf("error bound violated: %v", row)
+		}
+		if row[5] != "true" {
+			b.Fatalf("restore not bit-exact: %v", row)
+		}
+	}
+}
+
+// BenchmarkAmortization reproduces F7: recipe-construction overhead vs
+// number of quantities.
+func BenchmarkAmortization(b *testing.B) {
+	runExperiment(b, "F7")
+}
+
+// BenchmarkThroughput reproduces T8: end-to-end pipeline throughput.
+func BenchmarkThroughput(b *testing.B) {
+	runExperiment(b, "T8")
+}
+
+// BenchmarkAblation reproduces F9: sibling-curve and chaining-granularity
+// design ablation.
+func BenchmarkAblation(b *testing.B) {
+	runExperiment(b, "F9")
+}
+
+// BenchmarkThreeD reproduces F10: 3-D generalization of the reordering.
+func BenchmarkThreeD(b *testing.B) {
+	runExperiment(b, "F10")
+}
+
+// BenchmarkCodecComparison reproduces T11: all codecs (incl. the lossless
+// floor and the multilevel codec) side by side.
+func BenchmarkCodecComparison(b *testing.B) {
+	runExperiment(b, "T11")
+}
+
+// BenchmarkUniformGrid reproduces T12: native multi-dimensional codec
+// modes on the raw uniform solver output.
+func BenchmarkUniformGrid(b *testing.B) {
+	runExperiment(b, "T12")
+}
+
+// BenchmarkParallelScaling reproduces T13: chunk-parallel compression
+// throughput vs worker count.
+func BenchmarkParallelScaling(b *testing.B) {
+	runExperiment(b, "T13")
+}
+
+// BenchmarkPaddedLevels reproduces F14: the padded per-level 2-D baseline.
+func BenchmarkPaddedLevels(b *testing.B) {
+	runExperiment(b, "F14")
+}
+
+// BenchmarkTemporal reproduces T15: delta encoding over a time series.
+func BenchmarkTemporal(b *testing.B) {
+	runExperiment(b, "T15")
+}
+
+// --- raw pipeline micro-benchmarks (the numbers behind T8) ---
+
+func pipelineData(b *testing.B) (*Checkpoint, *Field) {
+	b.Helper()
+	s := benchSuite(b)
+	ck, err := s.Checkpoint("sedov")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, ok := ck.Field("dens")
+	if !ok {
+		b.Fatal("dens missing")
+	}
+	return toPublicCheckpoint(ck), f
+}
+
+// toPublicCheckpoint converts; sim.Checkpoint is already the public alias.
+func toPublicCheckpoint(ck *Checkpoint) *Checkpoint { return ck }
+
+func benchCompress(b *testing.B, layout Layout, codec string) {
+	ck, f := pipelineData(b)
+	enc, err := NewEncoder(ck.Mesh, Options{Layout: layout, Curve: "hilbert", Codec: codec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ck.Mesh.NumBlocks() * ck.Mesh.CellsPerBlock()
+	b.SetBytes(int64(n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.CompressField(f, RelBound(1e-4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecompress(b *testing.B, layout Layout, codec string) {
+	ck, f := pipelineData(b)
+	enc, err := NewEncoder(ck.Mesh, Options{Layout: layout, Curve: "hilbert", Codec: codec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := enc.CompressField(f, RelBound(1e-4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := NewDecoder(ck.Mesh)
+	if _, err := dec.DecompressField(c); err != nil { // warm the recipe cache
+		b.Fatal(err)
+	}
+	n := ck.Mesh.NumBlocks() * ck.Mesh.CellsPerBlock()
+	b.SetBytes(int64(n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecompressField(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressSZLevel(b *testing.B)    { benchCompress(b, LayoutLevel, "sz") }
+func BenchmarkCompressSZZMesh(b *testing.B)    { benchCompress(b, LayoutZMesh, "sz") }
+func BenchmarkCompressZFPLevel(b *testing.B)   { benchCompress(b, LayoutLevel, "zfp") }
+func BenchmarkCompressZFPZMesh(b *testing.B)   { benchCompress(b, LayoutZMesh, "zfp") }
+func BenchmarkDecompressSZZMesh(b *testing.B)  { benchDecompress(b, LayoutZMesh, "sz") }
+func BenchmarkDecompressZFPZMesh(b *testing.B) { benchDecompress(b, LayoutZMesh, "zfp") }
+
+// BenchmarkRecipeConstruction measures the chained-tree recipe build alone
+// (the overhead F7 shows amortizing).
+func BenchmarkRecipeConstruction(b *testing.B) {
+	ck, _ := pipelineData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEncoder(ck.Mesh, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStructureDecode measures rebuilding the mesh topology from
+// serialized tree metadata (the decompression-side recipe path).
+func BenchmarkStructureDecode(b *testing.B) {
+	ck, _ := pipelineData(b)
+	blob := ck.Mesh.Structure()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDecoderFromStructure(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

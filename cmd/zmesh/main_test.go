@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The command functions are exercised in-process; they take arg slices
+// exactly as the CLI dispatcher passes them.
+
+func tempPaths(t *testing.T) (ckpt, arch, restored string) {
+	dir := t.TempDir()
+	return filepath.Join(dir, "a.ckpt"), filepath.Join(dir, "a.zm"), filepath.Join(dir, "r.ckpt")
+}
+
+func generateSmall(t *testing.T, path string) {
+	t.Helper()
+	err := cmdGenerate([]string{"-problem", "sedov", "-res", "48", "-depth", "2", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineSZ(t *testing.T) {
+	ckpt, arch, restored := tempPaths(t)
+	generateSmall(t, ckpt)
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch, "-rel", "1e-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-i", arch, "-o", restored}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-orig", ckpt, "-recon", restored, "-rel", "1e-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-i", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-i", arch}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineZFPAbsBound(t *testing.T) {
+	ckpt, arch, restored := tempPaths(t)
+	generateSmall(t, ckpt)
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch,
+		"-codec", "zfp", "-layout", "level", "-abs", "1e-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-i", arch, "-o", restored}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-orig", ckpt, "-recon", restored, "-abs", "1e-2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsViolation(t *testing.T) {
+	ckpt, arch, restored := tempPaths(t)
+	generateSmall(t, ckpt)
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch, "-rel", "1e-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-i", arch, "-o", restored}); err != nil {
+		t.Fatal(err)
+	}
+	// Verifying against a *tighter* bound than was used must fail.
+	if err := cmdVerify([]string{"-orig", ckpt, "-recon", restored, "-rel", "1e-6"}); err == nil {
+		t.Fatal("verify accepted a reconstruction beyond the bound")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	ckpt, arch, _ := tempPaths(t)
+	if err := cmdGenerate([]string{"-problem", "sedov"}); err == nil {
+		t.Fatal("generate without -o accepted")
+	}
+	if err := cmdGenerate([]string{"-problem", "nope", "-o", ckpt}); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+	generateSmall(t, ckpt)
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch}); err == nil {
+		t.Fatal("compress without bound accepted")
+	}
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch, "-rel", "1e-3", "-abs", "1e-3"}); err == nil {
+		t.Fatal("both bounds accepted")
+	}
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch, "-rel", "1e-3", "-layout", "bogus"}); err == nil {
+		t.Fatal("bogus layout accepted")
+	}
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch, "-rel", "1e-3", "-codec", "bogus"}); err == nil {
+		t.Fatal("bogus codec accepted")
+	}
+	if err := cmdDecompress([]string{"-i", "does-not-exist", "-o", arch}); err == nil {
+		t.Fatal("missing archive accepted")
+	}
+	if err := cmdInfo([]string{"-i", "does-not-exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	ckpt, _, _ := tempPaths(t)
+	generateSmall(t, ckpt)
+	png1 := ckpt + ".png"
+	if err := cmdRender([]string{"-i", ckpt, "-o", png1, "-field", "dens", "-width", "64", "-blocks"}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := statFile(png1); err != nil || fi <= 0 {
+		t.Fatalf("png missing or empty: %v", err)
+	}
+	png2 := ckpt + ".levels.png"
+	if err := cmdRender([]string{"-i", ckpt, "-o", png2, "-field", "levels", "-width", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRender([]string{"-i", ckpt, "-o", png1, "-field", "nope"}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := cmdRender([]string{"-i", ckpt}); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+}
+
+func statFile(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func TestInfoDistinguishesFileKinds(t *testing.T) {
+	ckpt, arch, _ := tempPaths(t)
+	generateSmall(t, ckpt)
+	if err := cmdCompress([]string{"-i", ckpt, "-o", arch, "-rel", "1e-3"}); err != nil {
+		t.Fatal(err)
+	}
+	// info must succeed on both kinds; decompress must reject a checkpoint.
+	if err := cmdDecompress([]string{"-i", ckpt, "-o", arch + ".x"}); err == nil {
+		t.Fatal("decompress accepted a checkpoint as archive")
+	}
+}

@@ -1,0 +1,74 @@
+// AMR evolution: run the genuine adaptive solver (advection–diffusion with
+// dynamic regridding) and compress a checkpoint at regular intervals. Every
+// regrid changes the tree topology, so a new restore recipe is derived each
+// time — demonstrating that zMesh's recipe is cheap to rebuild and never
+// stored, even for time-evolving hierarchies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	// A Gaussian blob advected diagonally across a periodic domain; the
+	// refinement region must follow it.
+	mesh, u, err := zmesh.BuildAdaptive(zmesh.BuildOptions{
+		Dims:      2,
+		BlockSize: 8,
+		RootDims:  [3]int{2, 2, 1},
+		MaxDepth:  3,
+		Threshold: 0.3,
+	}, func(x, y, z float64) float64 {
+		dx, dy := x-0.3, y-0.3
+		return math.Exp(-(dx*dx + dy*dy) / (2 * 0.05 * 0.05))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver, err := sim.NewAdvectionDiffusion(mesh, u, 1, 1, 1e-4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("  time   blocks  levels  recipe(ms)  ratio   tree bytes")
+	const snapshots = 6
+	for snap := 0; snap < snapshots; snap++ {
+		// One Encoder per snapshot: topology may have changed.
+		start := time.Now()
+		enc, err := zmesh.NewEncoder(mesh, zmesh.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		recipeMs := time.Since(start).Seconds() * 1e3
+		c, err := enc.CompressField(u, zmesh.RelBound(1e-4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Round trip through serialized topology, as a file reader would.
+		dec, err := zmesh.NewDecoderFromStructure(mesh.Structure())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dec.DecompressField(c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.3f  %6d  %6d  %10.2f  %5.2f  %10d\n",
+			solver.Time, mesh.NumBlocks(), mesh.MaxLevel()+1,
+			recipeMs, c.Ratio(), len(mesh.Structure()))
+
+		if snap == snapshots-1 {
+			break
+		}
+		if err := solver.Run(solver.Time+0.05, 4, 0.3, 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nblock counts grow as refinement chases the blob; each snapshot's")
+	fmt.Println("recipe is rebuilt from the tree metadata column — never stored")
+}

@@ -1,0 +1,71 @@
+// Error-bound sweep: rate–distortion behaviour of the level-order baseline
+// vs zMesh across relative error bounds, on the two-blast dataset. Prints
+// bits/value and PSNR per bound — the data behind the paper's
+// compression-ratio and rate-distortion figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	zmesh "repro"
+)
+
+func main() {
+	res := flag.Int("res", 256, "solver resolution")
+	field := flag.String("field", "pres", "quantity to study")
+	flag.Parse()
+
+	ck, err := zmesh.Generate("blast", zmesh.GenerateOptions{Resolution: *res})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, ok := ck.Field(*field)
+	if !ok {
+		log.Fatalf("field %q not in checkpoint", *field)
+	}
+	orig := zmesh.FieldValues(f)
+	fmt.Printf("blast/%s: %d values, %d AMR levels\n\n", *field, len(orig), ck.Mesh.MaxLevel()+1)
+
+	layouts := []struct {
+		name   string
+		layout zmesh.Layout
+		curve  string
+	}{
+		{"level", zmesh.LayoutLevel, "morton"},
+		{"zmesh", zmesh.LayoutZMesh, "hilbert"},
+	}
+	dec := zmesh.NewDecoder(ck.Mesh)
+
+	fmt.Println("rel bound   layout  bits/value   ratio    PSNR(dB)   max|err|")
+	for _, eb := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
+		for _, l := range layouts {
+			enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{
+				Layout: l.layout, Curve: l.curve, Codec: "sz",
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := enc.CompressField(f, zmesh.RelBound(eb))
+			if err != nil {
+				log.Fatal(err)
+			}
+			recon, err := dec.DecompressField(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			psnr, err := zmesh.PSNR(f, recon)
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxe, err := zmesh.MaxAbsError(f, recon)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bits := 8 * float64(len(c.Payload)) / float64(c.NumValues)
+			fmt.Printf("%9.0e   %-6s  %10.3f  %6.2f  %9.1f   %.3e\n",
+				eb, l.name, bits, c.Ratio(), psnr, maxe)
+		}
+	}
+}

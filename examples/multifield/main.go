@@ -1,0 +1,70 @@
+// Multifield amortization: the zMesh recipe is a function of the mesh
+// topology, so one Encoder serves every quantity of a checkpoint. This
+// example measures the recipe-construction overhead against compression
+// work as the number of quantities grows — the paper's amortization
+// argument for the chained-tree reconstruction cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	zmesh "repro"
+)
+
+func main() {
+	// A blast-like hierarchy with many quantities sampled on it: think of a
+	// multi-species hydro code writing 16 scalars per checkpoint.
+	mesh, first, err := zmesh.BuildAdaptive(zmesh.BuildOptions{
+		Dims:      2,
+		BlockSize: 8,
+		RootDims:  [3]int{4, 4, 1},
+		MaxDepth:  4,
+		Threshold: 0.4,
+	}, func(x, y, z float64) float64 {
+		r := math.Hypot(x-0.5, y-0.5)
+		return 1 / (1 + math.Exp((r-0.35)/0.01))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	first.Name = "q00"
+	fields := []*zmesh.Field{first}
+	for q := 1; q < 16; q++ {
+		k := float64(q)
+		fields = append(fields, zmesh.SampleField(mesh,
+			fmt.Sprintf("q%02d", q),
+			func(x, y, z float64) float64 {
+				r := math.Hypot(x-0.5, y-0.5)
+				return math.Sin(k*math.Pi*x) * math.Cos(k*math.Pi*y) /
+					(1 + math.Exp((r-0.35)/0.02))
+			}))
+	}
+	fmt.Printf("mesh: %d blocks, %d values/quantity, %d quantities\n\n",
+		mesh.NumBlocks(), mesh.NumBlocks()*mesh.CellsPerBlock(), len(fields))
+
+	fmt.Println("quantities  recipe(ms)  compress(ms)  recipe share")
+	for _, nq := range []int{1, 2, 4, 8, 16} {
+		// Recipe construction happens once, inside NewEncoder.
+		start := time.Now()
+		enc, err := zmesh.NewEncoder(mesh, zmesh.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		recipeTime := time.Since(start)
+
+		start = time.Now()
+		for q := 0; q < nq; q++ {
+			if _, err := enc.CompressField(fields[q], zmesh.RelBound(1e-4)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		compressTime := time.Since(start)
+		share := recipeTime.Seconds() / (recipeTime.Seconds() + compressTime.Seconds())
+		fmt.Printf("%10d  %10.2f  %12.2f  %11.1f%%\n",
+			nq, recipeTime.Seconds()*1e3, compressTime.Seconds()*1e3, 100*share)
+	}
+	fmt.Println("\nthe fixed recipe cost shrinks to noise as quantities accumulate")
+}

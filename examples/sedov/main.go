@@ -1,0 +1,74 @@
+// Sedov blast study: run the Sedov point-blast simulation to completion,
+// project it onto an AMR hierarchy, and compare compression ratios of the
+// level-order baseline against the within-level SFC orders and zMesh, for
+// both SZ and ZFP — a miniature of the paper's main evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	zmesh "repro"
+)
+
+func main() {
+	res := flag.Int("res", 256, "solver resolution")
+	depth := flag.Int("depth", 4, "max AMR depth")
+	relBound := flag.Float64("rel", 1e-3, "relative error bound")
+	flag.Parse()
+
+	fmt.Printf("running Sedov blast at %d^2, projecting to AMR (depth %d)...\n", *res, *depth)
+	ck, err := zmesh.Generate("sedov", zmesh.GenerateOptions{
+		Resolution: *res,
+		MaxDepth:   *depth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d levels, %d blocks, %d quantities\n\n",
+		ck.Mesh.MaxLevel()+1, ck.Mesh.NumBlocks(), len(ck.Fields))
+
+	configs := []struct {
+		name   string
+		layout zmesh.Layout
+		curve  string
+	}{
+		{"level order (baseline)", zmesh.LayoutLevel, "morton"},
+		{"Z-order within level", zmesh.LayoutSFC, "morton"},
+		{"Hilbert within level", zmesh.LayoutSFC, "hilbert"},
+		{"zMesh (Z-order)", zmesh.LayoutZMesh, "morton"},
+		{"zMesh (Hilbert)", zmesh.LayoutZMesh, "hilbert"},
+	}
+
+	for _, codec := range []string{"sz", "zfp"} {
+		fmt.Printf("=== codec %s, relative bound %g ===\n", codec, *relBound)
+		var baseline float64
+		for _, cfg := range configs {
+			enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{
+				Layout: cfg.layout, Curve: cfg.curve, Codec: codec,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Compress every quantity, aggregate the ratio — what an
+			// application saving a full checkpoint experiences.
+			var raw, comp int
+			for _, f := range ck.Fields {
+				c, err := enc.CompressField(f, zmesh.RelBound(*relBound))
+				if err != nil {
+					log.Fatal(err)
+				}
+				raw += c.NumValues * 8
+				comp += len(c.Payload)
+			}
+			ratio := float64(raw) / float64(comp)
+			if cfg.layout == zmesh.LayoutLevel {
+				baseline = ratio
+			}
+			fmt.Printf("  %-24s ratio %6.2f  (%+.1f%% vs baseline)\n",
+				cfg.name, ratio, 100*(ratio-baseline)/baseline)
+		}
+		fmt.Println()
+	}
+}

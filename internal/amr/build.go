@@ -1,0 +1,123 @@
+package amr
+
+import "math"
+
+// LohnerIndicator computes a Löhner-style refinement indicator for one
+// block: the maximum over interior cells and dimensions of the normalized
+// second difference
+//
+//	|f[i+1] - 2 f[i] + f[i-1]| /
+//	   (|f[i+1]-f[i]| + |f[i]-f[i-1]| + filter * (|f[i+1]| + 2|f[i]| + |f[i-1]| + scale))
+//
+// This is the estimator FLASH uses to drive refinement. It is scale-free —
+// smooth regions score near zero, discontinuities near one — except for the
+// scale term, an absolute noise floor (typically the field's global maximum
+// magnitude) that keeps relative wiggles in near-zero tails from triggering
+// refinement of regions that are flat at the field's own scale.
+func LohnerIndicator(f *Field, id BlockID, filter, scale float64) float64 {
+	m := f.mesh
+	bs := m.blockSize
+	kmax := 1
+	if m.dims == 3 {
+		kmax = bs
+	}
+	max := 0.0
+	val := func(i, j, k int) float64 { return f.At(id, i, j, k) }
+	score := func(a, b, c float64) float64 {
+		num := math.Abs(a - 2*b + c)
+		den := math.Abs(a-b) + math.Abs(b-c) + filter*(math.Abs(a)+2*math.Abs(b)+math.Abs(c)+scale)
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	for k := 0; k < kmax; k++ {
+		for j := 0; j < bs; j++ {
+			for i := 1; i < bs-1; i++ {
+				if s := score(val(i-1, j, k), val(i, j, k), val(i+1, j, k)); s > max {
+					max = s
+				}
+			}
+		}
+	}
+	for k := 0; k < kmax; k++ {
+		for i := 0; i < bs; i++ {
+			for j := 1; j < bs-1; j++ {
+				if s := score(val(i, j-1, k), val(i, j, k), val(i, j+1, k)); s > max {
+					max = s
+				}
+			}
+		}
+	}
+	if m.dims == 3 {
+		for j := 0; j < bs; j++ {
+			for i := 0; i < bs; i++ {
+				for k := 1; k < bs-1; k++ {
+					if s := score(val(i, j, k-1), val(i, j, k), val(i, j, k+1)); s > max {
+						max = s
+					}
+				}
+			}
+		}
+	}
+	return max
+}
+
+// BuildOptions configures BuildAdaptive.
+type BuildOptions struct {
+	Dims      int
+	BlockSize int
+	RootDims  [3]int
+	MaxDepth  int     // deepest level to refine to
+	Threshold float64 // Löhner indicator above which a block refines
+	Filter    float64 // Löhner noise filter (0.01 is typical)
+}
+
+// BuildAdaptive constructs an AMR hierarchy adapted to the analytic field
+// fn: starting from the root grid, every leaf whose Löhner indicator exceeds
+// the threshold is refined, until MaxDepth. All blocks (parents included)
+// hold data; leaves sample fn at their cell centres and parents are then
+// restricted from their children, matching a FLASH checkpoint.
+func BuildAdaptive(opt BuildOptions, fn func(x, y, z float64) float64) (*Mesh, *Field, error) {
+	if opt.Filter <= 0 {
+		opt.Filter = 0.01
+	}
+	m, err := NewMesh(opt.Dims, opt.BlockSize, opt.RootDims)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := NewField(m, "f")
+	f.FillFunc(fn)
+	for pass := 0; pass <= opt.MaxDepth; pass++ {
+		refined := false
+		scale := f.MaxAbs()
+		// Snapshot leaves: Refine mutates the block set.
+		for _, id := range m.Leaves() {
+			if m.Block(id).Level >= opt.MaxDepth {
+				continue
+			}
+			if LohnerIndicator(f, id, opt.Filter, scale) > opt.Threshold {
+				if err := m.Refine(id); err != nil {
+					return nil, nil, err
+				}
+				refined = true
+			}
+		}
+		if !refined {
+			break
+		}
+		// New blocks sample the analytic field directly.
+		f.FillFunc(fn)
+	}
+	f.Restrict()
+	return m, f, nil
+}
+
+// SampleField adds another quantity to an existing hierarchy: fn is sampled
+// at the cell centres of every leaf and restricted onto interior blocks.
+func SampleField(m *Mesh, name string, fn func(x, y, z float64) float64) *Field {
+	f := NewField(m, name)
+	f.FillFunc(fn)
+	f.Restrict()
+	return f
+}

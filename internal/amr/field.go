@@ -1,0 +1,190 @@
+package amr
+
+import "fmt"
+
+// Field stores one scalar quantity over every block of a mesh (leaves and
+// interior blocks alike, FLASH-style). Block data is row-major with
+// blockSize^dims cells.
+type Field struct {
+	Name string
+	mesh *Mesh
+	data [][]float64 // indexed by BlockID
+}
+
+// NewField allocates a zero field bound to the mesh's current blocks.
+// Blocks refined after creation get storage on first access via Sync.
+func NewField(m *Mesh, name string) *Field {
+	f := &Field{Name: name, mesh: m}
+	f.Sync()
+	return f
+}
+
+// Mesh returns the mesh the field is bound to.
+func (f *Field) Mesh() *Mesh { return f.mesh }
+
+// Sync allocates storage for blocks created since the last Sync.
+func (f *Field) Sync() {
+	n := f.mesh.NumBlocks()
+	for len(f.data) < n {
+		f.data = append(f.data, make([]float64, f.mesh.CellsPerBlock()))
+	}
+}
+
+// Data returns the raw cell array of one block.
+func (f *Field) Data(id BlockID) []float64 {
+	f.Sync()
+	return f.data[id]
+}
+
+// At reads cell (i,j,k) of block id.
+func (f *Field) At(id BlockID, i, j, k int) float64 {
+	return f.Data(id)[f.mesh.cellIndex(i, j, k)]
+}
+
+// Set writes cell (i,j,k) of block id.
+func (f *Field) Set(id BlockID, i, j, k int, v float64) {
+	f.Data(id)[f.mesh.cellIndex(i, j, k)] = v
+}
+
+// FillFunc evaluates fn at every cell centre of every block.
+func (f *Field) FillFunc(fn func(x, y, z float64) float64) {
+	f.Sync()
+	m := f.mesh
+	bs := m.blockSize
+	kmax := 1
+	if m.dims == 3 {
+		kmax = bs
+	}
+	for id := 0; id < m.NumBlocks(); id++ {
+		d := f.data[id]
+		for k := 0; k < kmax; k++ {
+			for j := 0; j < bs; j++ {
+				for i := 0; i < bs; i++ {
+					p := m.CellCenter(BlockID(id), i, j, k)
+					d[m.cellIndex(i, j, k)] = fn(p[0], p[1], p[2])
+				}
+			}
+		}
+	}
+}
+
+// Restrict recomputes every interior block's data as the volume average of
+// its children, sweeping fine-to-coarse so multi-level hierarchies restrict
+// transitively. This is how FLASH keeps parent blocks populated.
+func (f *Field) Restrict() {
+	f.Sync()
+	m := f.mesh
+	for level := m.maxLevel - 1; level >= 0; level-- {
+		for _, id := range m.Level(level) {
+			if !m.Block(id).IsLeaf() {
+				f.restrictBlock(id)
+			}
+		}
+	}
+}
+
+// restrictBlock overwrites one interior block with its children's average.
+func (f *Field) restrictBlock(id BlockID) {
+	m := f.mesh
+	b := m.Block(id)
+	bs := m.blockSize
+	kmax := 1
+	if m.dims == 3 {
+		kmax = bs
+	}
+	parent := f.data[id]
+	for i := range parent {
+		parent[i] = 0
+	}
+	denom := float64(int(1) << uint(m.dims))
+	for o := 0; o < m.NumChildren(); o++ {
+		cid := b.Children[o]
+		off := m.childOffset(o)
+		child := f.data[cid]
+		for k := 0; k < kmax; k++ {
+			for j := 0; j < bs; j++ {
+				for i := 0; i < bs; i++ {
+					pi := (off[0]*bs + i) / 2
+					pj := (off[1]*bs + j) / 2
+					pk := (off[2]*bs + k) / 2
+					if m.dims == 2 {
+						pk = 0
+					}
+					parent[m.cellIndex(pi, pj, pk)] += child[m.cellIndex(i, j, k)] / denom
+				}
+			}
+		}
+	}
+}
+
+// Prolong fills a freshly created child block by copying the parent value
+// covering each child cell (piecewise-constant prolongation).
+func (f *Field) Prolong(child BlockID) {
+	f.Sync()
+	m := f.mesh
+	cb := m.Block(child)
+	if cb.Parent == NilBlock {
+		return
+	}
+	b := m.Block(cb.Parent)
+	// Which ordinal is this child?
+	ord := -1
+	for o, cid := range b.Children {
+		if cid == child {
+			ord = o
+			break
+		}
+	}
+	if ord < 0 {
+		panic(fmt.Sprintf("amr: block %d not a child of its parent", child))
+	}
+	off := m.childOffset(ord)
+	bs := m.blockSize
+	kmax := 1
+	if m.dims == 3 {
+		kmax = bs
+	}
+	src := f.data[cb.Parent]
+	dst := f.data[child]
+	for k := 0; k < kmax; k++ {
+		for j := 0; j < bs; j++ {
+			for i := 0; i < bs; i++ {
+				pi := (off[0]*bs + i) / 2
+				pj := (off[1]*bs + j) / 2
+				pk := (off[2]*bs + k) / 2
+				if m.dims == 2 {
+					pk = 0
+				}
+				dst[m.cellIndex(i, j, k)] = src[m.cellIndex(pi, pj, pk)]
+			}
+		}
+	}
+}
+
+// MaxAbs reports the largest magnitude over all cells of all blocks.
+func (f *Field) MaxAbs() float64 {
+	f.Sync()
+	max := 0.0
+	for _, d := range f.data {
+		for _, v := range d {
+			if v < 0 {
+				v = -v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// TotalCells reports the number of cells stored by the field (all blocks).
+func (f *Field) TotalCells() int {
+	f.Sync()
+	return f.mesh.NumBlocks() * f.mesh.CellsPerBlock()
+}
+
+// LeafCells reports the number of cells on leaf blocks only.
+func (f *Field) LeafCells() int {
+	return f.mesh.NumLeaves() * f.mesh.CellsPerBlock()
+}

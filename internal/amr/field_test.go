@@ -1,0 +1,190 @@
+package amr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFillFuncAndAt(t *testing.T) {
+	m := newTestMesh(t, 2)
+	f := NewField(m, "q")
+	f.FillFunc(func(x, y, z float64) float64 { return x + 10*y })
+	p := m.CellCenter(m.Roots()[0], 1, 2, 0)
+	want := p[0] + 10*p[1]
+	if got := f.At(m.Roots()[0], 1, 2, 0); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("At = %v, want %v", got, want)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	m := newTestMesh(t, 3)
+	f := NewField(m, "q")
+	f.Set(m.Roots()[5], 1, 2, 3, 42.5)
+	if got := f.At(m.Roots()[5], 1, 2, 3); got != 42.5 {
+		t.Fatalf("At = %v", got)
+	}
+	// Distinct cells are distinct storage.
+	if got := f.At(m.Roots()[5], 3, 2, 1); got != 0 {
+		t.Fatalf("untouched cell = %v", got)
+	}
+}
+
+func TestSyncAfterRefine(t *testing.T) {
+	m := newTestMesh(t, 2)
+	f := NewField(m, "q")
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Access to a new block must not panic; Sync is implicit.
+	child := m.Block(m.Roots()[0]).Children[0]
+	f.Set(child, 0, 0, 0, 1)
+	if f.At(child, 0, 0, 0) != 1 {
+		t.Fatal("child storage broken")
+	}
+}
+
+func TestRestrictConstant(t *testing.T) {
+	// Restricting a constant field must reproduce the constant exactly.
+	for _, dims := range []int{2, 3} {
+		m := newTestMesh(t, dims)
+		if err := m.Refine(m.Roots()[0]); err != nil {
+			t.Fatal(err)
+		}
+		f := NewField(m, "q")
+		f.FillFunc(func(x, y, z float64) float64 { return 7.25 })
+		// Corrupt the parent so we know Restrict overwrote it.
+		f.Set(m.Roots()[0], 0, 0, 0, -1)
+		f.Restrict()
+		bs := m.BlockSize()
+		kmax := 1
+		if dims == 3 {
+			kmax = bs
+		}
+		for k := 0; k < kmax; k++ {
+			for j := 0; j < bs; j++ {
+				for i := 0; i < bs; i++ {
+					if got := f.At(m.Roots()[0], i, j, k); got != 7.25 {
+						t.Fatalf("dims=%d parent cell (%d,%d,%d) = %v", dims, i, j, k, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRestrictLinear(t *testing.T) {
+	// Volume-averaging restriction is exact for linear fields at cell centres.
+	m := newTestMesh(t, 2)
+	if err := m.Refine(m.Roots()[1]); err != nil {
+		t.Fatal(err)
+	}
+	f := NewField(m, "q")
+	f.FillFunc(func(x, y, z float64) float64 { return 3*x - 2*y })
+	parentVals := append([]float64(nil), f.Data(m.Roots()[1])...)
+	f.Restrict()
+	got := f.Data(m.Roots()[1])
+	for i := range got {
+		if math.Abs(got[i]-parentVals[i]) > 1e-12 {
+			t.Fatalf("cell %d: restricted %v, sampled %v", i, got[i], parentVals[i])
+		}
+	}
+}
+
+func TestRestrictMultiLevel(t *testing.T) {
+	m := newTestMesh(t, 2)
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	child := m.Block(m.Roots()[0]).Children[0]
+	if err := m.Refine(child); err != nil {
+		t.Fatal(err)
+	}
+	f := NewField(m, "q")
+	// Fill only the leaves with a constant; parents start at zero.
+	for _, id := range m.Leaves() {
+		d := f.Data(id)
+		for i := range d {
+			d[i] = 2
+		}
+	}
+	f.Restrict()
+	// The doubly-refined ancestor must also hold the constant — proving the
+	// fine-to-coarse sweep order is right.
+	for _, v := range f.Data(m.Roots()[0]) {
+		if v != 2 {
+			t.Fatalf("grandparent cell = %v, want 2", v)
+		}
+	}
+}
+
+func TestProlongConstant(t *testing.T) {
+	m := newTestMesh(t, 2)
+	f := NewField(m, "q")
+	f.FillFunc(func(x, y, z float64) float64 { return 5 })
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	for _, cid := range m.Block(m.Roots()[0]).Children {
+		if cid == NilBlock {
+			continue
+		}
+		f.Prolong(cid)
+		for _, v := range f.Data(cid) {
+			if v != 5 {
+				t.Fatalf("prolonged cell = %v", v)
+			}
+		}
+	}
+}
+
+func TestProlongGeometry(t *testing.T) {
+	// Piecewise-constant prolongation: each child cell takes the value of
+	// the parent cell whose region contains it.
+	m := newTestMesh(t, 2)
+	f := NewField(m, "q")
+	// Unique value per parent cell.
+	root := m.Roots()[0]
+	bs := m.BlockSize()
+	for j := 0; j < bs; j++ {
+		for i := 0; i < bs; i++ {
+			f.Set(root, i, j, 0, float64(j*bs+i))
+		}
+	}
+	if err := m.Refine(root); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	for o, cid := range m.Block(root).Children {
+		if o >= m.NumChildren() {
+			break
+		}
+		f.Prolong(cid)
+		off := m.childOffset(o)
+		for j := 0; j < bs; j++ {
+			for i := 0; i < bs; i++ {
+				pi := (off[0]*bs + i) / 2
+				pj := (off[1]*bs + j) / 2
+				want := float64(pj*bs + pi)
+				if got := f.At(cid, i, j, 0); got != want {
+					t.Fatalf("child %d cell (%d,%d) = %v, want %v", o, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCellCounts(t *testing.T) {
+	m := newTestMesh(t, 2)
+	f := NewField(m, "q")
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	cpb := m.CellsPerBlock()
+	if got := f.TotalCells(); got != 8*cpb {
+		t.Fatalf("TotalCells = %d, want %d", got, 8*cpb)
+	}
+	if got := f.LeafCells(); got != 7*cpb {
+		t.Fatalf("LeafCells = %d, want %d", got, 7*cpb)
+	}
+}

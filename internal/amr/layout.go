@@ -1,0 +1,77 @@
+package amr
+
+import "fmt"
+
+// LevelArrays serializes a field the way AMR applications write checkpoints:
+// one contiguous array per refinement level, blocks in canonical row-major
+// order within the level, cells row-major within each block. This is the
+// baseline layout zMesh improves on.
+func LevelArrays(f *Field) [][]float64 {
+	f.Sync()
+	m := f.mesh
+	out := make([][]float64, m.maxLevel+1)
+	cpb := m.CellsPerBlock()
+	for level := 0; level <= m.maxLevel; level++ {
+		ids := m.SortedLevel(level)
+		arr := make([]float64, 0, len(ids)*cpb)
+		for _, id := range ids {
+			arr = append(arr, f.data[id]...)
+		}
+		out[level] = arr
+	}
+	return out
+}
+
+// Flatten concatenates per-level arrays into the single stream an
+// application would hand to a 1-D compressor.
+func Flatten(levels [][]float64) []float64 {
+	n := 0
+	for _, l := range levels {
+		n += len(l)
+	}
+	out := make([]float64, 0, n)
+	for _, l := range levels {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// FieldFromLevelArrays rebuilds a field from its level-by-level layout.
+// The mesh must have the topology the arrays were produced from.
+func FieldFromLevelArrays(m *Mesh, name string, levels [][]float64) (*Field, error) {
+	if len(levels) != m.maxLevel+1 {
+		return nil, fmt.Errorf("amr: %d level arrays for %d levels", len(levels), m.maxLevel+1)
+	}
+	f := NewField(m, name)
+	cpb := m.CellsPerBlock()
+	for level := 0; level <= m.maxLevel; level++ {
+		ids := m.SortedLevel(level)
+		if len(levels[level]) != len(ids)*cpb {
+			return nil, fmt.Errorf("amr: level %d has %d values, want %d",
+				level, len(levels[level]), len(ids)*cpb)
+		}
+		for bi, id := range ids {
+			copy(f.data[id], levels[level][bi*cpb:(bi+1)*cpb])
+		}
+	}
+	return f, nil
+}
+
+// SplitLevels cuts a flat stream back into per-level arrays for the mesh.
+func SplitLevels(m *Mesh, flat []float64) ([][]float64, error) {
+	cpb := m.CellsPerBlock()
+	out := make([][]float64, m.maxLevel+1)
+	off := 0
+	for level := 0; level <= m.maxLevel; level++ {
+		n := len(m.Level(level)) * cpb
+		if off+n > len(flat) {
+			return nil, fmt.Errorf("amr: flat stream too short at level %d", level)
+		}
+		out[level] = flat[off : off+n]
+		off += n
+	}
+	if off != len(flat) {
+		return nil, fmt.Errorf("amr: flat stream has %d trailing values", len(flat)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package amr
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestMesh(t *testing.T, dims int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(dims, 4, [3]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(1, 4, [3]int{1, 1, 1}); err == nil {
+		t.Fatal("dims=1 accepted")
+	}
+	if _, err := NewMesh(4, 4, [3]int{1, 1, 1}); err == nil {
+		t.Fatal("dims=4 accepted")
+	}
+	if _, err := NewMesh(2, 3, [3]int{1, 1, 1}); err == nil {
+		t.Fatal("odd blockSize accepted")
+	}
+	if _, err := NewMesh(2, 0, [3]int{1, 1, 1}); err == nil {
+		t.Fatal("blockSize=0 accepted")
+	}
+	if _, err := NewMesh(2, 4, [3]int{0, 1, 1}); err == nil {
+		t.Fatal("rootDims=0 accepted")
+	}
+}
+
+func TestRootGrid(t *testing.T) {
+	m := newTestMesh(t, 2)
+	if m.NumBlocks() != 4 {
+		t.Fatalf("2x2 root grid has %d blocks", m.NumBlocks())
+	}
+	if m.NumLeaves() != 4 {
+		t.Fatalf("NumLeaves = %d", m.NumLeaves())
+	}
+	m3 := newTestMesh(t, 3)
+	if m3.NumBlocks() != 8 {
+		t.Fatalf("2x2x2 root grid has %d blocks", m3.NumBlocks())
+	}
+	// 2-D meshes must squash z.
+	if d := m.levelBlockDims(0); d[2] != 1 {
+		t.Fatalf("2-D level dims %v", d)
+	}
+}
+
+func TestRefineCreatesChildren(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		m := newTestMesh(t, dims)
+		id := m.Roots()[0]
+		if err := m.Refine(id); err != nil {
+			t.Fatal(err)
+		}
+		b := m.Block(id)
+		if b.IsLeaf() {
+			t.Fatal("refined block still leaf")
+		}
+		want := 1 << dims
+		for o := 0; o < want; o++ {
+			cid := b.Children[o]
+			if cid == NilBlock {
+				t.Fatalf("dims=%d child %d missing", dims, o)
+			}
+			c := m.Block(cid)
+			if c.Level != 1 || c.Parent != id {
+				t.Fatalf("child %d: level=%d parent=%d", o, c.Level, c.Parent)
+			}
+			off := m.childOffset(o)
+			wantCoord := [3]int{b.Coord[0]*2 + off[0], b.Coord[1]*2 + off[1], b.Coord[2]*2 + off[2]}
+			if dims == 2 {
+				wantCoord[2] = 0
+			}
+			if c.Coord != wantCoord {
+				t.Fatalf("child %d coord %v, want %v", o, c.Coord, wantCoord)
+			}
+		}
+		// Idempotent.
+		n := m.NumBlocks()
+		if err := m.Refine(id); err != nil {
+			t.Fatal(err)
+		}
+		if m.NumBlocks() != n {
+			t.Fatal("double refine created blocks")
+		}
+	}
+}
+
+func TestTwoToOneBalance(t *testing.T) {
+	m, err := NewMesh(2, 4, [3]int{4, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refine block (0,0) twice; block (1,0) stays coarse unless balance
+	// forces it.
+	id, _ := m.Lookup(0, [3]int{0, 0, 0})
+	if err := m.Refine(id); err != nil {
+		t.Fatal(err)
+	}
+	// Refine the child at (1,1) on level 1, adjacent to the unrefined root
+	// (1,0): balance must refine root (1,0) and (0,1) first.
+	cid, ok := m.Lookup(1, [3]int{1, 1, 0})
+	if !ok {
+		t.Fatal("child (1,1) missing")
+	}
+	if err := m.Refine(cid); err != nil {
+		t.Fatal(err)
+	}
+	checkBalance(t, m)
+}
+
+// checkBalance verifies the 2:1 constraint: for every leaf, any face
+// neighbour region is covered by blocks within one level.
+func checkBalance(t *testing.T, m *Mesh) {
+	t.Helper()
+	for _, id := range m.Leaves() {
+		b := m.Block(id)
+		dims := m.levelBlockDims(b.Level)
+		for d := 0; d < m.Dims(); d++ {
+			for _, dir := range [2]int{-1, 1} {
+				nc := b.Coord
+				nc[d] += dir
+				if nc[d] < 0 || nc[d] >= dims[d] {
+					continue
+				}
+				// The neighbour must exist at this level or one coarser.
+				if _, ok := m.Lookup(b.Level, nc); ok {
+					continue
+				}
+				pc := [3]int{nc[0] >> 1, nc[1] >> 1, nc[2] >> 1}
+				if m.Dims() == 2 {
+					pc[2] = 0
+				}
+				if pid, ok := m.Lookup(b.Level-1, pc); !ok || !m.Block(pid).IsLeaf() {
+					t.Fatalf("block %d (level %d, %v): neighbour %v not balanced",
+						id, b.Level, b.Coord, nc)
+				}
+			}
+		}
+	}
+}
+
+func TestDeepRefinementBalanced(t *testing.T) {
+	m, err := NewMesh(2, 4, [3]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refine repeatedly at the corner to force cascading balance.
+	target := [3]int{0, 0, 0}
+	for level := 0; level < 5; level++ {
+		id, ok := m.Lookup(level, target)
+		if !ok {
+			t.Fatalf("level %d block %v missing", level, target)
+		}
+		if err := m.Refine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkBalance(t, m)
+	if m.MaxLevel() != 5 {
+		t.Fatalf("MaxLevel = %d, want 5", m.MaxLevel())
+	}
+}
+
+func TestCellCenter(t *testing.T) {
+	m := newTestMesh(t, 2) // 2x2 roots, blockSize 4 => 8x8 cells at level 0
+	p := m.CellCenter(m.Roots()[0], 0, 0, 0)
+	if math.Abs(p[0]-1.0/16) > 1e-15 || math.Abs(p[1]-1.0/16) > 1e-15 {
+		t.Fatalf("first cell centre %v", p)
+	}
+	last := m.Roots()[3] // block (1,1)
+	p = m.CellCenter(last, 3, 3, 0)
+	if math.Abs(p[0]-15.0/16) > 1e-15 || math.Abs(p[1]-15.0/16) > 1e-15 {
+		t.Fatalf("last cell centre %v", p)
+	}
+	// After refinement, a child's cells are half the size.
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	child := m.Block(m.Roots()[0]).Children[0]
+	p = m.CellCenter(child, 0, 0, 0)
+	if math.Abs(p[0]-1.0/32) > 1e-15 {
+		t.Fatalf("child first cell centre %v", p)
+	}
+}
+
+func TestGlobalCellCoord(t *testing.T) {
+	m := newTestMesh(t, 2)
+	b := m.Roots()[3] // block (1,1)
+	c := m.GlobalCellCoord(b, 2, 3, 0)
+	if c[0] != 6 || c[1] != 7 {
+		t.Fatalf("global coord %v, want (6,7)", c)
+	}
+}
+
+func TestLevelOrdering(t *testing.T) {
+	m := newTestMesh(t, 2)
+	if err := m.Refine(m.Roots()[2]); err != nil { // block (0,1)
+		t.Fatal(err)
+	}
+	if err := m.Refine(m.Roots()[0]); err != nil { // block (0,0)
+		t.Fatal(err)
+	}
+	sorted := m.SortedLevel(1)
+	if len(sorted) != 8 {
+		t.Fatalf("level 1 has %d blocks", len(sorted))
+	}
+	// Canonical order must be row-major regardless of refinement order:
+	// children of (0,0) occupy block coords (0,0),(1,0),(0,1),(1,1);
+	// children of (0,1) occupy (0,2),(1,2),(0,3),(1,3).
+	prev := [3]int{-1, -1, -1}
+	for _, id := range sorted {
+		c := m.Block(id).Coord
+		if c[1] < prev[1] || (c[1] == prev[1] && c[0] <= prev[0]) {
+			t.Fatalf("canonical order violated: %v after %v", c, prev)
+		}
+		prev = c
+	}
+	if first := m.Block(sorted[0]).Coord; first != [3]int{0, 0, 0} {
+		t.Fatalf("first sorted block %v", first)
+	}
+}
+
+func TestRefineTooDeep(t *testing.T) {
+	m, err := NewMesh(2, 2, [3]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.Roots()[0]
+	for level := 0; level < MaxLevels-1; level++ {
+		if err := m.Refine(id); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		id = m.Block(id).Children[0]
+	}
+	if err := m.Refine(id); err != ErrTooDeep {
+		t.Fatalf("got %v, want ErrTooDeep", err)
+	}
+}

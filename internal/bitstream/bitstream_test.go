@@ -1,0 +1,234 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter(0)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != uint64(len(pattern)) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsBoundaries(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n uint
+	}{
+		{0, 1}, {1, 1}, {0xff, 8}, {0x1234, 16}, {0xdeadbeef, 32},
+		{0xffffffffffffffff, 64}, {1, 64}, {0, 64}, {0x7, 3}, {0x15, 5},
+	}
+	w := NewWriter(0)
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := c.v
+		if c.n < 64 {
+			want &= (1 << c.n) - 1
+		}
+		if got != want {
+			t.Fatalf("case %d: got %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xffff, 4) // only low 4 bits should land
+	w.WriteBits(0, 4)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x0f {
+		t.Fatalf("got %#x, want 0x0f", got)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	w := NewWriter(0)
+	vals := []uint{0, 1, 5, 13, 0, 2}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("val %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("val %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestShortStream(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xab, 8)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(8); err != ErrShortStream {
+		t.Fatalf("got %v, want ErrShortStream", err)
+	}
+}
+
+func TestEmptyReader(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.ReadBit(); err != ErrShortStream {
+		t.Fatalf("got %v, want ErrShortStream", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xffff, 16)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.WriteBits(0x5, 3)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x5 {
+		t.Fatalf("got %#x, want 0x5", got)
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(1, 1)
+	b := w.Bytes()
+	if len(b) != 1 {
+		t.Fatalf("1 bit should serialize to 1 byte, got %d", len(b))
+	}
+	w.WriteBits(0, 8) // 9 bits total
+	b = w.Bytes()
+	if len(b) != 2 {
+		t.Fatalf("9 bits should serialize to 2 bytes, got %d", len(b))
+	}
+}
+
+func TestCrossWordBoundary(t *testing.T) {
+	// Force writes that straddle 64-bit word boundaries.
+	w := NewWriter(0)
+	w.WriteBits(0x1, 60)
+	w.WriteBits(0xff, 8) // straddles word 0/1
+	w.WriteBits(0xabcdef, 24)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(60); v != 0x1 {
+		t.Fatalf("first field = %#x", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xff {
+		t.Fatalf("straddling field = %#x", v)
+	}
+	if v, _ := r.ReadBits(24); v != 0xabcdef {
+		t.Fatalf("third field = %#x", v)
+	}
+}
+
+// property: any sequence of (value, width) writes reads back identically.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		vals := make([]uint64, count)
+		widths := make([]uint, count)
+		w := NewWriter(0)
+		for i := range vals {
+			widths[i] = uint(rng.Intn(64)) + 1
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << widths[i]) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedBitAndBits(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBit(1)
+	w.WriteBits(0x2a, 7)
+	w.WriteBit(0)
+	w.WriteBits(0xffffffffffffffff, 64)
+	r := NewReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit 0")
+	}
+	if v, _ := r.ReadBits(7); v != 0x2a {
+		t.Fatal("field 1")
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("bit 2")
+	}
+	if v, _ := r.ReadBits(64); v != 0xffffffffffffffff {
+		t.Fatal("field 3")
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 13)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 100000; i++ {
+		w.WriteBits(uint64(i), 13)
+	}
+	data := w.Bytes()
+	b.ResetTimer()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadBits(13); err != nil {
+			r = NewReader(data)
+		}
+	}
+}

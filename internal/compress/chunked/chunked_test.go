@@ -1,0 +1,212 @@
+package chunked
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+	"repro/internal/compress/sz"
+	"repro/internal/compress/zfp"
+)
+
+func maxErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func signal(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(float64(i)/75) * float64(1+i/10000)
+	}
+	return out
+}
+
+func TestRoundTripBothBases(t *testing.T) {
+	data := signal(300000)
+	for _, base := range []compress.Compressor{sz.New(), zfp.New()} {
+		c := New(base)
+		eb := 1e-4
+		buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(eb))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("%s: %d values", c.Name(), len(got))
+		}
+		if e := maxErr(data, got); e > eb {
+			t.Fatalf("%s: max error %g", c.Name(), e)
+		}
+	}
+}
+
+func TestRelBoundResolvedGlobally(t *testing.T) {
+	// A range-relative bound must be resolved against the WHOLE stream:
+	// construct data whose chunks have very different local ranges. If a
+	// chunk resolved the bound locally its absolute tolerance would differ,
+	// breaking the global guarantee.
+	n := 3 * DefaultChunkSize
+	data := make([]float64, n)
+	for i := range data {
+		switch {
+		case i < DefaultChunkSize:
+			data[i] = math.Sin(float64(i)) * 1e-6 // tiny range chunk
+		default:
+			data[i] = math.Sin(float64(i)/100) * 1e3 // huge range chunk
+		}
+	}
+	c := New(sz.New())
+	rel := 1e-4
+	buf, err := c.Compress(data, []int{n}, compress.RelBound(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalAbs := compress.RelBound(rel).Absolute(data)
+	if e := maxErr(data, got); e > globalAbs {
+		t.Fatalf("global relative bound violated: %g > %g", e, globalAbs)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	data := signal(100000)
+	var ref []byte
+	for _, workers := range []int{1, 2, 7} {
+		c := &Compressor{Base: sz.New(), Workers: workers}
+		buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(1e-4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf
+			continue
+		}
+		if len(buf) != len(ref) {
+			t.Fatalf("workers=%d: payload size %d differs from %d (must be deterministic)",
+				workers, len(buf), len(ref))
+		}
+		for i := range buf {
+			if buf[i] != ref[i] {
+				t.Fatalf("workers=%d: payload differs at byte %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestChunkBoundaryExactness(t *testing.T) {
+	// Sizes around the chunk boundary must all round-trip.
+	c := &Compressor{Base: sz.New(), ChunkSize: 1000}
+	for _, n := range []int{1, 999, 1000, 1001, 2000, 2001} {
+		data := signal(n)
+		buf, err := c.Compress(data, []int{n}, compress.AbsBound(1e-5))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d values", n, len(got))
+		}
+		if e := maxErr(data, got); e > 1e-5 {
+			t.Fatalf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestOnlyOneD(t *testing.T) {
+	c := New(sz.New())
+	if _, err := c.Compress(make([]float64, 4), []int{2, 2}, compress.AbsBound(1)); err == nil {
+		t.Fatal("2-D accepted")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := New(sz.New())
+	if _, err := c.Decompress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := c.Decompress([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	data := signal(5000)
+	buf, err := c.Compress(data, []int{5000}, compress.AbsBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(buf[:len(buf)/3]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := New(zfp.New()).Name(); got != "zfp-par" {
+		t.Fatalf("name %q", got)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, size uint16, chunkPow uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%5000) + 1
+		data := make([]float64, n)
+		v := 0.0
+		for i := range data {
+			v += rng.NormFloat64()
+			data[i] = v
+		}
+		c := &Compressor{Base: sz.New(), ChunkSize: 1 << (chunkPow%8 + 4)}
+		eb := 1e-3
+		buf, err := c.Compress(data, []int{n}, compress.AbsBound(eb))
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		return maxErr(data, got) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChunkedCompress(b *testing.B) {
+	data := signal(1 << 20)
+	c := New(sz.New())
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, []int{len(data)}, compress.AbsBound(1e-4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialCompress(b *testing.B) {
+	data := signal(1 << 20)
+	c := sz.New()
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, []int{len(data)}, compress.AbsBound(1e-4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package compress
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundAbsolute(t *testing.T) {
+	data := []float64{-2, 0, 6} // range 8
+	if got := AbsBound(0.5).Absolute(data); got != 0.5 {
+		t.Fatalf("abs bound = %v", got)
+	}
+	if got := RelBound(0.25).Absolute(data); got != 2.0 {
+		t.Fatalf("rel bound = %v, want 2.0", got)
+	}
+	// Constant data: relative bound falls back to the raw value.
+	if got := RelBound(0.1).Absolute([]float64{5, 5, 5}); got != 0.1 {
+		t.Fatalf("constant-data rel bound = %v", got)
+	}
+	if got := RelBound(0.1).Absolute(nil); got != 0.1 {
+		t.Fatalf("empty-data rel bound = %v", got)
+	}
+}
+
+func TestBoundModeString(t *testing.T) {
+	if Abs.String() != "abs" || Rel.String() != "rel" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []struct {
+		n    int
+		dims []int
+	}{
+		{6, []int{6}}, {6, []int{2, 3}}, {24, []int{2, 3, 4}},
+	}
+	for _, c := range ok {
+		if err := Validate(make([]float64, c.n), c.dims); err != nil {
+			t.Fatalf("dims %v rejected: %v", c.dims, err)
+		}
+	}
+	if err := Validate(make([]float64, 5), []int{6}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := Validate(nil, nil); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if err := Validate(make([]float64, 1), []int{1, 1, 1, 1}); err == nil {
+		t.Fatal("4 dims accepted")
+	}
+	if err := Validate(make([]float64, 0), []int{0}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if err := Validate([]float64{math.NaN()}, []int{1}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(100, make([]byte, 100)); got != 8 {
+		t.Fatalf("ratio = %v, want 8", got)
+	}
+	if got := Ratio(10, nil); got != 0 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-codec", func() Compressor { return nil })
+	found := false
+	for _, n := range Codecs() {
+		if n == "test-codec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered codec missing from Codecs()")
+	}
+	if _, err := Get("definitely-not-registered"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package lossless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+)
+
+func TestExactRoundTrip(t *testing.T) {
+	c := New()
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 10)
+	}
+	buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("value %d: %v != %v (lossless must be exact)", i, got[i], data[i])
+		}
+	}
+}
+
+func TestRandomDataNearIncompressible(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 8192)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random doubles barely compress: the floor lossy codecs must clear.
+	if r := compress.Ratio(len(data), buf); r > 1.5 {
+		t.Fatalf("random data ratio %.2f unexpectedly high", r)
+	}
+}
+
+func TestMultiDim(t *testing.T) {
+	c := New()
+	data := make([]float64, 6*7*8)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	buf, err := c.Compress(data, []int{6, 7, 8}, compress.AbsBound(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("%d values", len(got))
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := New()
+	if _, err := c.Decompress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := c.Decompress([]byte{9, 9, 9}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	data := []float64{1, 2, 3, 4}
+	buf, err := c.Compress(data, []int{4}, compress.AbsBound(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(buf[:len(buf)-2]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	c, err := compress.Get("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "gzip" {
+		t.Fatalf("name %q", c.Name())
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	c := New()
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0 // Validate rejects non-finite; normalize
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		buf, err := c.Compress(vals, []int{len(vals)}, compress.AbsBound(1))
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(buf)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,382 @@
+// Package multilevel implements an MGARD-inspired error-bounded compressor
+// (Ainsworth, Tugluk, Whitney, Klasky — "Multilevel techniques for
+// compression and reduction of scientific data"): the input is decomposed
+// into a hierarchical (interpolation) basis — at each level, nodes at odd
+// multiples of the stride are replaced by their deviation from the linear
+// interpolant of their even neighbours, dimension by dimension — the
+// multilevel coefficients are uniformly quantized with a budget that splits
+// the error bound across levels, and the quantization codes are entropy
+// coded like SZ's (canonical Huffman + DEFLATE).
+//
+// This is the hierarchical-basis core of MGARD without the L²-projection
+// correction; it preserves MGARD's defining behaviour — coefficients decay
+// with level for smooth data, so coarse levels carry almost all the signal.
+package multilevel
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/huffman"
+)
+
+const (
+	magic   = 0x4d474c31 // "MGL1"
+	version = 1
+)
+
+// DefaultIntervals is the quantization capacity (Huffman alphabet size).
+const DefaultIntervals = 65536
+
+// Compressor is the multilevel codec.
+type Compressor struct {
+	// Intervals is the quantization capacity; even, >= 4.
+	Intervals int
+}
+
+// New returns a multilevel codec with default settings.
+func New() *Compressor { return &Compressor{Intervals: DefaultIntervals} }
+
+func init() {
+	compress.Register("mgl", func() compress.Compressor { return New() })
+}
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return "mgl" }
+
+// numLevels reports the decomposition depth for extent n: strides
+// 1, 2, 4, ... while 2*stride < n gives level count.
+func numLevels(dims []int) int {
+	max := 0
+	for _, d := range dims {
+		l := 0
+		for s := 1; 2*s < d; s *= 2 {
+			l++
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// forwardAxis applies one level of the hierarchical decomposition along an
+// axis: for every line, nodes at odd multiples of stride become details
+// (value minus linear interpolant of even neighbours). lineLen is the
+// extent along the axis, lineStride the memory stride between consecutive
+// axis elements.
+func forwardLine(data []float64, base, lineLen, lineStride, s int) {
+	for i := s; i < lineLen; i += 2 * s {
+		data[base+i*lineStride] -= linePred(data, base, lineLen, lineStride, s, i)
+	}
+}
+
+// inverseLine inverts forwardLine.
+func inverseLine(data []float64, base, lineLen, lineStride, s int) {
+	for i := s; i < lineLen; i += 2 * s {
+		data[base+i*lineStride] += linePred(data, base, lineLen, lineStride, s, i)
+	}
+}
+
+// linePred predicts the odd node at i from the kept (even-multiple) nodes:
+// the linear interpolant of its neighbours in the interior and the left
+// neighbour alone at the right boundary. The boundary deliberately stays
+// zeroth-order: its prediction weights sum to 1 in magnitude, which keeps
+// the level-wise error amplification linear (errorAmplification); a linear
+// extrapolation (weights 2, −1) would compound neighbour errors by 3 per
+// level and break the worst-case bound. Predictions read only kept nodes,
+// so forward and inverse apply them identically.
+func linePred(data []float64, base, lineLen, lineStride, s, i int) float64 {
+	left := data[base+(i-s)*lineStride]
+	if i+s < lineLen {
+		return 0.5 * (left + data[base+(i+s)*lineStride])
+	}
+	return left
+}
+
+// axisGeometry enumerates the lines of an N-D array along one axis.
+type axisGeometry struct {
+	lineLen    int
+	lineStride int
+	lines      []int // base offsets
+}
+
+// geometry computes the line decomposition of dims (slowest-first order,
+// as used throughout the compress packages) along axis a.
+func geometry(dims []int, a int) axisGeometry {
+	// Strides, slowest-first: stride[last] = 1.
+	nd := len(dims)
+	strides := make([]int, nd)
+	strides[nd-1] = 1
+	for i := nd - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * dims[i+1]
+	}
+	g := axisGeometry{lineLen: dims[a], lineStride: strides[a]}
+	// Enumerate all index combinations of the other axes.
+	total := 1
+	for i, d := range dims {
+		if i != a {
+			total *= d
+		}
+	}
+	g.lines = make([]int, 0, total)
+	idx := make([]int, nd)
+	for {
+		base := 0
+		for i := range idx {
+			base += idx[i] * strides[i]
+		}
+		g.lines = append(g.lines, base)
+		// Increment the multi-index, skipping axis a.
+		i := nd - 1
+		for ; i >= 0; i-- {
+			if i == a {
+				continue
+			}
+			idx[i]++
+			if idx[i] < dims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return g
+}
+
+// decompose applies the full multilevel transform in place and returns the
+// level of each element (0 = finest detail, L = coarsest nodes), used for
+// diagnostics and level-wise statistics.
+func decompose(data []float64, dims []int) {
+	levels := numLevels(dims)
+	for l, s := 0, 1; l < levels; l, s = l+1, s*2 {
+		for a := 0; a < len(dims); a++ {
+			if 2*s >= dims[a] && s >= dims[a] {
+				continue
+			}
+			g := geometry(dims, a)
+			for _, base := range g.lines {
+				forwardLine(data, base, g.lineLen, g.lineStride, s)
+			}
+		}
+	}
+}
+
+// recompose inverts decompose.
+func recompose(data []float64, dims []int) {
+	levels := numLevels(dims)
+	// Levels in reverse, axes in reverse.
+	s := 1
+	for l := 0; l < levels-1; l++ {
+		s *= 2
+	}
+	for l := levels - 1; l >= 0; l, s = l-1, s/2 {
+		for a := len(dims) - 1; a >= 0; a-- {
+			if 2*s >= dims[a] && s >= dims[a] {
+				continue
+			}
+			g := geometry(dims, a)
+			for _, base := range g.lines {
+				inverseLine(data, base, g.lineLen, g.lineStride, s)
+			}
+		}
+	}
+}
+
+// errorAmplification bounds how much per-coefficient quantization error can
+// amplify through recomposition: each inverse level adds at most the mean
+// of two already-erroneous neighbours on top of the coefficient's own
+// error, so the worst case grows linearly with level count per dimension.
+func errorAmplification(dims []int) float64 {
+	amp := float64(numLevels(dims)*len(dims) + 1)
+	return amp
+}
+
+// Compress implements compress.Compressor.
+func (c *Compressor) Compress(data []float64, dims []int, bound compress.Bound) ([]byte, error) {
+	if err := compress.Validate(data, dims); err != nil {
+		return nil, err
+	}
+	if c.Intervals < 4 || c.Intervals%2 != 0 {
+		return nil, fmt.Errorf("mgl: intervals must be even and >= 4, got %d", c.Intervals)
+	}
+	eb := bound.Absolute(data)
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("mgl: invalid error bound %v", eb)
+	}
+	work := append([]float64(nil), data...)
+	decompose(work, dims)
+
+	// Quantize coefficients with the amplification-adjusted budget.
+	q := eb / errorAmplification(dims)
+	twoQ := 2 * q
+	radius := c.Intervals / 2
+	codes := make([]int, len(work))
+	var unpred []float64
+	for i, v := range work {
+		k := math.Floor(v/twoQ + 0.5)
+		if math.Abs(k) < float64(radius) {
+			r := k * twoQ
+			if math.Abs(r-v) <= q {
+				codes[i] = int(k) + radius
+				work[i] = r
+				continue
+			}
+		}
+		codes[i] = 0
+		unpred = append(unpred, v)
+		work[i] = v
+	}
+	coded, err := huffman.EncodeAll(codes, c.Intervals)
+	if err != nil {
+		return nil, fmt.Errorf("mgl: entropy stage: %w", err)
+	}
+
+	var payload bytes.Buffer
+	head := make([]byte, 0, 64)
+	head = binary.AppendUvarint(head, magic)
+	head = binary.AppendUvarint(head, version)
+	head = binary.AppendUvarint(head, uint64(len(dims)))
+	for _, d := range dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	head = binary.AppendUvarint(head, uint64(c.Intervals))
+	head = binary.AppendUvarint(head, math.Float64bits(q))
+	head = binary.AppendUvarint(head, uint64(len(unpred)))
+	head = binary.AppendUvarint(head, uint64(len(coded)))
+	payload.Write(head)
+	payload.Write(coded)
+	raw := make([]byte, 8)
+	for _, v := range unpred {
+		binary.LittleEndian.PutUint64(raw, math.Float64bits(v))
+		payload.Write(raw)
+	}
+
+	var out bytes.Buffer
+	out.WriteByte(1)
+	fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(payload.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	if out.Len() >= payload.Len()+1 {
+		return append([]byte{0}, payload.Bytes()...), nil
+	}
+	return out.Bytes(), nil
+}
+
+// ErrCorrupt is returned for malformed payloads.
+var ErrCorrupt = errors.New("mgl: corrupt payload")
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
+	if len(buf) < 2 {
+		return nil, ErrCorrupt
+	}
+	marker, body := buf[0], buf[1:]
+	switch marker {
+	case 0:
+	case 1:
+		var err error
+		body, err = io.ReadAll(flate.NewReader(bytes.NewReader(body)))
+		if err != nil {
+			return nil, fmt.Errorf("mgl: lossless stage: %w", err)
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	rd := body
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	mg, err := next()
+	if err != nil || mg != magic {
+		return nil, ErrCorrupt
+	}
+	ver, err := next()
+	if err != nil || ver != version {
+		return nil, fmt.Errorf("mgl: unsupported version %d", ver)
+	}
+	nd, err := next()
+	if err != nil || nd < 1 || nd > 3 {
+		return nil, ErrCorrupt
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		d, err := next()
+		if err != nil || d == 0 || d > 1<<40 {
+			return nil, ErrCorrupt
+		}
+		dims[i] = int(d)
+	}
+	n, err := compress.CheckSize(dims)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	intervals64, err := next()
+	if err != nil || intervals64 < 4 || intervals64%2 != 0 {
+		return nil, ErrCorrupt
+	}
+	radius := int(intervals64) / 2
+	qBits, err := next()
+	if err != nil {
+		return nil, err
+	}
+	q := math.Float64frombits(qBits)
+	nUnpred, err := next()
+	if err != nil {
+		return nil, err
+	}
+	codedLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rd)) < codedLen+8*nUnpred {
+		return nil, ErrCorrupt
+	}
+	codes, err := huffman.DecodeAll(rd[:codedLen])
+	if err != nil {
+		return nil, fmt.Errorf("mgl: entropy stage: %w", err)
+	}
+	if len(codes) != n {
+		return nil, fmt.Errorf("mgl: %d codes for %d values", len(codes), n)
+	}
+	rawUnpred := rd[codedLen : codedLen+8*nUnpred]
+	work := make([]float64, n)
+	ui := 0
+	twoQ := 2 * q
+	for i, code := range codes {
+		if code == 0 {
+			if ui >= int(nUnpred) {
+				return nil, ErrCorrupt
+			}
+			work[i] = math.Float64frombits(binary.LittleEndian.Uint64(rawUnpred[8*ui:]))
+			ui++
+			continue
+		}
+		work[i] = float64(code-radius) * twoQ
+	}
+	if ui != int(nUnpred) {
+		return nil, ErrCorrupt
+	}
+	recompose(work, dims)
+	return work, nil
+}

@@ -1,0 +1,278 @@
+package multilevel
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/huffman"
+)
+
+// Progressive retrieval (Wan et al., "Error-controlled, progressive, and
+// adaptable retrieval of scientific data with multilevel decomposition"):
+// the multilevel coefficients are encoded once into a sequence of tiers
+// with decreasing error bounds. A reader fetches tiers incrementally —
+// after any prefix of k tiers the reconstruction satisfies the k-th bound,
+// so analyses requesting coarse accuracy move a fraction of the bytes.
+// Tier k stores the quantized residual between the true coefficients and
+// the coefficients reconstructed from tiers 0..k-1.
+
+const tierMagic = 0x4d474c54 // "MGLT"
+
+// Tier is one increment of a progressive encoding.
+type Tier struct {
+	// Bound is the absolute error bound guaranteed after decoding this and
+	// all previous tiers.
+	Bound float64
+	// Payload is the tier's encoded residual stream.
+	Payload []byte
+}
+
+// CompressProgressive encodes data into one tier per bound. Bounds must be
+// strictly decreasing and positive; they are interpreted per the given
+// bound mode against the whole dataset (Rel resolves against the range).
+func (c *Compressor) CompressProgressive(data []float64, dims []int, mode compress.BoundMode, bounds []float64) ([]Tier, error) {
+	if err := compress.Validate(data, dims); err != nil {
+		return nil, err
+	}
+	if c.Intervals < 4 || c.Intervals%2 != 0 {
+		return nil, fmt.Errorf("mgl: intervals must be even and >= 4, got %d", c.Intervals)
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("mgl: no tier bounds given")
+	}
+	abs := make([]float64, len(bounds))
+	for i, b := range bounds {
+		a := compress.Bound{Mode: mode, Value: b}.Absolute(data)
+		if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, fmt.Errorf("mgl: invalid tier bound %v", b)
+		}
+		if i > 0 && a >= abs[i-1] {
+			return nil, fmt.Errorf("mgl: tier bounds must decrease (%v >= %v)", a, abs[i-1])
+		}
+		abs[i] = a
+	}
+
+	coeffs := append([]float64(nil), data...)
+	decompose(coeffs, dims)
+	amp := errorAmplification(dims)
+	reconC := make([]float64, len(coeffs))
+	radius := c.Intervals / 2
+
+	tiers := make([]Tier, 0, len(abs))
+	for ti, bound := range abs {
+		q := bound / amp
+		twoQ := 2 * q
+		codes := make([]int, len(coeffs))
+		var unpred []float64
+		for i, v := range coeffs {
+			r := v - reconC[i]
+			k := math.Floor(r/twoQ + 0.5)
+			if math.Abs(k) < float64(radius) {
+				d := k * twoQ
+				if math.Abs(d-r) <= q {
+					codes[i] = int(k) + radius
+					reconC[i] += d
+					continue
+				}
+			}
+			codes[i] = 0
+			unpred = append(unpred, r)
+			reconC[i] = v
+		}
+		coded, err := huffman.EncodeAll(codes, c.Intervals)
+		if err != nil {
+			return nil, fmt.Errorf("mgl: tier %d entropy stage: %w", ti, err)
+		}
+		var payload bytes.Buffer
+		head := make([]byte, 0, 64)
+		head = binary.AppendUvarint(head, tierMagic)
+		head = binary.AppendUvarint(head, version)
+		head = binary.AppendUvarint(head, uint64(ti))
+		head = binary.AppendUvarint(head, uint64(len(dims)))
+		for _, d := range dims {
+			head = binary.AppendUvarint(head, uint64(d))
+		}
+		head = binary.AppendUvarint(head, uint64(c.Intervals))
+		head = binary.AppendUvarint(head, math.Float64bits(q))
+		head = binary.AppendUvarint(head, uint64(len(unpred)))
+		head = binary.AppendUvarint(head, uint64(len(coded)))
+		payload.Write(head)
+		payload.Write(coded)
+		raw := make([]byte, 8)
+		for _, v := range unpred {
+			binary.LittleEndian.PutUint64(raw, math.Float64bits(v))
+			payload.Write(raw)
+		}
+		var out bytes.Buffer
+		out.WriteByte(1)
+		fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fw.Write(payload.Bytes()); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		final := out.Bytes()
+		if out.Len() >= payload.Len()+1 {
+			final = append([]byte{0}, payload.Bytes()...)
+		}
+		tiers = append(tiers, Tier{Bound: bound, Payload: final})
+	}
+	return tiers, nil
+}
+
+// DecompressProgressive reconstructs from any prefix of tiers; the result
+// satisfies the last provided tier's bound.
+func (c *Compressor) DecompressProgressive(tiers []Tier) ([]float64, error) {
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("mgl: no tiers")
+	}
+	var reconC []float64
+	var dims []int
+	for ti, tier := range tiers {
+		codes, unpred, q, radius, tdims, tIdx, err := decodeTier(tier.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("mgl: tier %d: %w", ti, err)
+		}
+		if tIdx != ti {
+			return nil, fmt.Errorf("mgl: tier %d out of order (stream says %d)", ti, tIdx)
+		}
+		if dims == nil {
+			dims = tdims
+			reconC = make([]float64, len(codes))
+		} else if !sameDims(dims, tdims) {
+			return nil, fmt.Errorf("mgl: tier %d dims %v mismatch %v", ti, tdims, dims)
+		}
+		if len(codes) != len(reconC) {
+			return nil, ErrCorrupt
+		}
+		ui := 0
+		twoQ := 2 * q
+		for i, code := range codes {
+			if code == 0 {
+				// Unpredictable: the raw residual makes the coefficient
+				// exact from this tier on.
+				if ui >= len(unpred) {
+					return nil, ErrCorrupt
+				}
+				reconC[i] += unpred[ui]
+				ui++
+				continue
+			}
+			reconC[i] += float64(code-radius) * twoQ
+		}
+		if ui != len(unpred) {
+			return nil, ErrCorrupt
+		}
+	}
+	out := append([]float64(nil), reconC...)
+	recompose(out, dims)
+	return out, nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeTier parses one tier payload, returning the alphabet codes
+// (0 = unpredictable), raw residuals, quantum, radius, dims and tier index.
+func decodeTier(buf []byte) (codes []int, unpred []float64, q float64, radius int, dims []int, tierIdx int, err error) {
+	fail := func(e error) ([]int, []float64, float64, int, []int, int, error) {
+		return nil, nil, 0, 0, nil, 0, e
+	}
+	if len(buf) < 2 {
+		return fail(ErrCorrupt)
+	}
+	marker, body := buf[0], buf[1:]
+	switch marker {
+	case 0:
+	case 1:
+		body, err = io.ReadAll(flate.NewReader(bytes.NewReader(body)))
+		if err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(ErrCorrupt)
+	}
+	rd := body
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	mg, err := next()
+	if err != nil || mg != tierMagic {
+		return fail(ErrCorrupt)
+	}
+	ver, err := next()
+	if err != nil || ver != version {
+		return fail(ErrCorrupt)
+	}
+	t64, err := next()
+	if err != nil {
+		return fail(err)
+	}
+	nd, err := next()
+	if err != nil || nd < 1 || nd > 3 {
+		return fail(ErrCorrupt)
+	}
+	dims = make([]int, nd)
+	for i := range dims {
+		d, err := next()
+		if err != nil || d == 0 || d > 1<<40 {
+			return fail(ErrCorrupt)
+		}
+		dims[i] = int(d)
+	}
+	if _, err := compress.CheckSize(dims); err != nil {
+		return fail(ErrCorrupt)
+	}
+	intervals, err := next()
+	if err != nil || intervals < 4 || intervals%2 != 0 {
+		return fail(ErrCorrupt)
+	}
+	qb, err := next()
+	if err != nil {
+		return fail(err)
+	}
+	q = math.Float64frombits(qb)
+	nUnpred, err := next()
+	if err != nil {
+		return fail(err)
+	}
+	codedLen, err := next()
+	if err != nil {
+		return fail(err)
+	}
+	if uint64(len(rd)) < codedLen+8*nUnpred {
+		return fail(ErrCorrupt)
+	}
+	codes, err = huffman.DecodeAll(rd[:codedLen])
+	if err != nil {
+		return fail(err)
+	}
+	unpred = make([]float64, nUnpred)
+	for i := range unpred {
+		unpred[i] = math.Float64frombits(binary.LittleEndian.Uint64(rd[codedLen+uint64(8*i):]))
+	}
+	return codes, unpred, q, int(intervals) / 2, dims, int(t64), nil
+}

@@ -1,0 +1,168 @@
+package sz
+
+import (
+	"math"
+
+	"repro/internal/bitstream"
+)
+
+// SZ-2.x-style blocked prediction for 2-D and 3-D data: the array is split
+// into fixed-size blocks and each block independently chooses between the
+// Lorenzo predictor (on reconstructed neighbours) and a linear regression
+// predictor f = m + b1·(i−ī) + b2·(j−j̄) [+ b3·(k−k̄)] fitted to the
+// block's own data. Regression wins in smooth, high-gradient regions where
+// Lorenzo's neighbour differences are dominated by quantization-noise
+// feedback; Lorenzo wins around discontinuities. The selection bit and the
+// (float32-rounded) coefficients are stored per block.
+
+// Block edge lengths, matching SZ-2's choices.
+const (
+	regBlock2D = 12
+	regBlock3D = 6
+)
+
+// regCoeffs holds the (rounded) regression plane for one block.
+type regCoeffs struct {
+	m, b1, b2, b3 float64
+}
+
+// grid describes the global array: extents (gz=1 and/or gy=1 collapse
+// dimensions) with x fastest-varying.
+type grid struct {
+	gx, gy, gz int
+}
+
+func (g grid) at(data []float64, i, j, k int) float64 {
+	return data[(k*g.gy+j)*g.gx+i]
+}
+
+// fitRegression fits the least-squares linear model over the block with
+// origin (ox,oy,oz) and extent (ni,nj,nk). The closed form uses centred
+// coordinates, for which the normal equations decouple on a lattice.
+func fitRegression(data []float64, g grid, ox, oy, oz, ni, nj, nk int) regCoeffs {
+	ci := float64(ni-1) / 2
+	cj := float64(nj-1) / 2
+	ck := float64(nk-1) / 2
+	var sum, si, sj, sk float64
+	for k := 0; k < nk; k++ {
+		for j := 0; j < nj; j++ {
+			for i := 0; i < ni; i++ {
+				v := g.at(data, ox+i, oy+j, oz+k)
+				sum += v
+				si += v * (float64(i) - ci)
+				sj += v * (float64(j) - cj)
+				sk += v * (float64(k) - ck)
+			}
+		}
+	}
+	n := float64(ni * nj * nk)
+	den := func(m int) float64 {
+		c := float64(m-1) / 2
+		var s float64
+		for i := 0; i < m; i++ {
+			d := float64(i) - c
+			s += d * d
+		}
+		return s
+	}
+	var c regCoeffs
+	c.m = sum / n
+	if d := den(ni) * float64(nj*nk); d > 0 {
+		c.b1 = si / d
+	}
+	if d := den(nj) * float64(ni*nk); d > 0 {
+		c.b2 = sj / d
+	}
+	if d := den(nk) * float64(ni*nj); d > 0 {
+		c.b3 = sk / d
+	}
+	// Round through float32: the representation the decoder will see.
+	c.m = float64(float32(c.m))
+	c.b1 = float64(float32(c.b1))
+	c.b2 = float64(float32(c.b2))
+	c.b3 = float64(float32(c.b3))
+	return c
+}
+
+// predict evaluates the regression plane at block-local coordinates.
+func (c regCoeffs) predict(i, j, k, ni, nj, nk int) float64 {
+	return c.m +
+		c.b1*(float64(i)-float64(ni-1)/2) +
+		c.b2*(float64(j)-float64(nj-1)/2) +
+		c.b3*(float64(k)-float64(nk-1)/2)
+}
+
+// write serializes the coefficients (float32 each; b3 only for 3-D).
+func (c regCoeffs) write(w *bitstream.Writer, threeD bool) {
+	w.WriteBits(uint64(math.Float32bits(float32(c.m))), 32)
+	w.WriteBits(uint64(math.Float32bits(float32(c.b1))), 32)
+	w.WriteBits(uint64(math.Float32bits(float32(c.b2))), 32)
+	if threeD {
+		w.WriteBits(uint64(math.Float32bits(float32(c.b3))), 32)
+	}
+}
+
+// readRegCoeffs inverts write.
+func readRegCoeffs(r *bitstream.Reader, threeD bool) (regCoeffs, error) {
+	var c regCoeffs
+	read := func(dst *float64) error {
+		v, err := r.ReadBits(32)
+		if err != nil {
+			return err
+		}
+		*dst = float64(math.Float32frombits(uint32(v)))
+		return nil
+	}
+	if err := read(&c.m); err != nil {
+		return c, err
+	}
+	if err := read(&c.b1); err != nil {
+		return c, err
+	}
+	if err := read(&c.b2); err != nil {
+		return c, err
+	}
+	if threeD {
+		if err := read(&c.b3); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// chooseRegression estimates, on the original data, whether the regression
+// plane out-predicts Lorenzo for this block. Lorenzo is evaluated on
+// original (global) neighbours, the way SZ's sampling pass estimates it,
+// and regression carries a small charge for its coefficient storage.
+func chooseRegression(data []float64, g grid, c regCoeffs, eb float64,
+	ox, oy, oz, ni, nj, nk int) bool {
+	at := func(i, j, k int) float64 {
+		if i < 0 || j < 0 || k < 0 {
+			return 0
+		}
+		return g.at(data, i, j, k)
+	}
+	var lorenzo, reg float64
+	for k := 0; k < nk; k++ {
+		for j := 0; j < nj; j++ {
+			for i := 0; i < ni; i++ {
+				gi, gj, gk := ox+i, oy+j, oz+k
+				v := at(gi, gj, gk)
+				var pl float64
+				if g.gz == 1 {
+					pl = at(gi-1, gj, 0) + at(gi, gj-1, 0) - at(gi-1, gj-1, 0)
+				} else {
+					pl = at(gi-1, gj, gk) + at(gi, gj-1, gk) + at(gi, gj, gk-1) -
+						at(gi-1, gj-1, gk) - at(gi-1, gj, gk-1) - at(gi, gj-1, gk-1) +
+						at(gi-1, gj-1, gk-1)
+				}
+				lorenzo += math.Abs(v - pl)
+				reg += math.Abs(v - c.predict(i, j, k, ni, nj, nk))
+			}
+		}
+	}
+	// Coefficient storage charge expressed in residual currency (~one
+	// quantization bin per stored byte).
+	reg += 32 * eb
+	return reg < lorenzo
+}

@@ -1,0 +1,196 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/compress"
+)
+
+func TestFitRegressionExactOnPlane(t *testing.T) {
+	// A linear field must be fitted exactly (up to float32 coefficient
+	// rounding).
+	nx, ny := 12, 12
+	data := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			data[j*nx+i] = 3 + 0.5*float64(i) - 0.25*float64(j)
+		}
+	}
+	g := grid{gx: nx, gy: ny, gz: 1}
+	c := fitRegression(data, g, 0, 0, 0, nx, ny, 1)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			want := data[j*nx+i]
+			got := c.predict(i, j, 0, nx, ny, 1)
+			if math.Abs(got-want) > 1e-4 {
+				t.Fatalf("plane fit at (%d,%d): %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestFitRegression3D(t *testing.T) {
+	nx, ny, nz := 6, 6, 6
+	data := make([]float64, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				data[(k*ny+j)*nx+i] = 1 + float64(i) + 2*float64(j) - 0.5*float64(k)
+			}
+		}
+	}
+	g := grid{gx: nx, gy: ny, gz: nz}
+	c := fitRegression(data, g, 0, 0, 0, nx, ny, nz)
+	if math.Abs(c.b1-1) > 1e-5 || math.Abs(c.b2-2) > 1e-5 || math.Abs(c.b3+0.5) > 1e-5 {
+		t.Fatalf("3-D slopes %v %v %v", c.b1, c.b2, c.b3)
+	}
+}
+
+func TestRegCoeffsRoundTrip(t *testing.T) {
+	for _, threeD := range []bool{false, true} {
+		c := regCoeffs{m: 1.5, b1: -0.25, b2: 3.75, b3: 0.125}
+		if !threeD {
+			c.b3 = 0
+		}
+		w := bitstream.NewWriter(0)
+		c.write(w, threeD)
+		r := bitstream.NewReader(w.Bytes())
+		got, err := readRegCoeffs(r, threeD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("threeD=%v: %+v != %+v", threeD, got, c)
+		}
+	}
+}
+
+func TestChooseRegressionPrefersPlane(t *testing.T) {
+	// On a steep plane, regression residuals are ~0 while Lorenzo carries
+	// the first element's full value; regression must win.
+	nx, ny := 12, 12
+	data := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			data[j*nx+i] = 100 * float64(i+j)
+		}
+	}
+	g := grid{gx: nx, gy: ny, gz: 1}
+	c := fitRegression(data, g, 0, 0, 0, nx, ny, 1)
+	if !chooseRegression(data, g, c, 1e-4, 0, 0, 0, nx, ny, 1) {
+		t.Fatal("regression not chosen for a steep plane")
+	}
+}
+
+func TestChooseRegressionPrefersLorenzoOnStep(t *testing.T) {
+	// A step function fits no plane; Lorenzo's residuals are zero away
+	// from the discontinuity.
+	nx, ny := 12, 12
+	data := make([]float64, nx*ny)
+	for j := 1; j < ny; j++ { // leave row 0 at zero so Lorenzo starts clean
+		for i := 0; i < nx; i++ {
+			if i >= nx/2 {
+				data[j*nx+i] = 1
+			}
+		}
+	}
+	g := grid{gx: nx, gy: ny, gz: 1}
+	c := fitRegression(data, g, 0, 0, 0, nx, ny, 1)
+	if chooseRegression(data, g, c, 1e-4, 0, 0, 0, nx, ny, 1) {
+		t.Fatal("regression chosen for a step function")
+	}
+}
+
+func TestRegressionImprovesGradientField(t *testing.T) {
+	// A smooth 2-D field with strong gradients: the blocked scheme must
+	// not lose to pure Lorenzo (SZ-2 vs SZ-1 behaviour).
+	ny, nx := 256, 256
+	data := make([]float64, ny*nx)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x, y := float64(i)/float64(nx), float64(j)/float64(ny)
+			data[j*nx+i] = 100*x*x + 50*y + 20*math.Sin(4*math.Pi*x*y)
+		}
+	}
+	bound := compress.RelBound(1e-4)
+	withReg := New()
+	noReg := &Compressor{Intervals: DefaultIntervals, DisableRegression: true}
+	a, err := withReg.Compress(data, []int{ny, nx}, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := noReg.Compress(data, []int{ny, nx}, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) > len(b)*105/100 {
+		t.Fatalf("blocked scheme %d bytes much worse than Lorenzo %d bytes", len(a), len(b))
+	}
+	// Both decode within bound.
+	for _, buf := range [][]byte{a, b} {
+		got, err := New().Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb := bound.Absolute(data)
+		for i := range data {
+			if math.Abs(got[i]-data[i]) > eb {
+				t.Fatalf("bound violated: %g > %g", math.Abs(got[i]-data[i]), eb)
+			}
+		}
+	}
+}
+
+func TestBlockedRoundTripOddSizes(t *testing.T) {
+	// Edge blocks (array not a multiple of the block size) must round-trip.
+	rng := rand.New(rand.NewSource(8))
+	c := New()
+	for _, dims := range [][]int{{13, 17}, {25, 12}, {7, 7, 7}, {6, 13, 9}} {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		data := make([]float64, n)
+		v := 0.0
+		for i := range data {
+			v += rng.NormFloat64()
+			data[i] = v
+		}
+		eb := 1e-3
+		buf, err := c.Compress(data, dims, compress.AbsBound(eb))
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		if e := maxErr(data, got); e > eb {
+			t.Fatalf("dims %v: max error %g", dims, e)
+		}
+	}
+}
+
+func TestDisableRegressionStillDecodes(t *testing.T) {
+	// Payloads from the ablation configuration decode with the default
+	// codec (scheme is in the header).
+	data := make([]float64, 24*24)
+	for i := range data {
+		data[i] = float64(i % 24)
+	}
+	noReg := &Compressor{Intervals: DefaultIntervals, DisableRegression: true}
+	buf, err := noReg.Compress(data, []int{24, 24}, compress.AbsBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New().Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, got); e > 1e-4 {
+		t.Fatalf("max error %g", e)
+	}
+}

@@ -1,0 +1,579 @@
+// Package sz implements an SZ-style error-bounded lossy compressor
+// (Di & Cappello, IPDPS'16; Tao et al., IPDPS'17): each value is predicted
+// by a Lorenzo predictor evaluated on previously *reconstructed* values, the
+// prediction residual is quantized with linear-scaling quantization against
+// the absolute error bound, quantization codes are entropy-coded with a
+// canonical Huffman coder, and the whole payload is passed through a
+// DEFLATE lossless stage. Values whose residual falls outside the
+// quantization range are stored verbatim ("unpredictable").
+//
+// Like SZ, this codec is a prediction-based compressor: its ratio improves
+// directly with the smoothness of the input stream, which is the property
+// zMesh's reordering targets.
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/compress"
+	"repro/internal/huffman"
+)
+
+const (
+	magic   = 0x535a4731 // "SZG1"
+	version = 1
+)
+
+// Prediction schemes for 2-D/3-D data.
+const (
+	schemeLorenzo = 0 // global Lorenzo prediction
+	schemeBlocked = 1 // SZ-2-style per-block Lorenzo/regression selection
+)
+
+// DefaultIntervals is the default linear-scaling quantization capacity
+// (SZ's default quantization_intervals), i.e. the Huffman alphabet size.
+const DefaultIntervals = 65536
+
+// Compressor is the SZ-like codec. The zero value is NOT ready: use New.
+type Compressor struct {
+	// Intervals is the quantization capacity (alphabet size). Must be an
+	// even number >= 4. Code 0 is reserved for unpredictable values.
+	Intervals int
+	// DisableLossless skips the DEFLATE stage (for ablation studies).
+	DisableLossless bool
+	// DisableRegression turns off SZ-2-style per-block regression for
+	// 2-D/3-D inputs, falling back to pure Lorenzo (for ablation studies).
+	DisableRegression bool
+}
+
+// New returns an SZ codec with default settings.
+func New() *Compressor { return &Compressor{Intervals: DefaultIntervals} }
+
+func init() {
+	compress.Register("sz", func() compress.Compressor { return New() })
+}
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return "sz" }
+
+// predict1D predicts from previous reconstructed values. Order 1 is the
+// preceding-neighbour (Lorenzo) predictor; order 2 extrapolates linearly.
+func predict1D(recon []float64, i, order int) float64 {
+	switch {
+	case i == 0:
+		return 0
+	case i == 1 || order == 1:
+		return recon[i-1]
+	default:
+		return 2*recon[i-1] - recon[i-2]
+	}
+}
+
+// choose1DPredictor samples the data and picks the 1-D predictor order with
+// the smaller total residual, mirroring SZ's predictor auto-tuning. Raw
+// values stand in for reconstructed ones during sampling, which is exact in
+// the limit of small error bounds.
+func choose1DPredictor(data []float64) int {
+	var r1, r2 float64
+	stride := len(data)/4096 + 1
+	for i := 2; i < len(data); i += stride {
+		r1 += math.Abs(data[i] - data[i-1])
+		r2 += math.Abs(data[i] - (2*data[i-1] - data[i-2]))
+	}
+	if r2 < r1 {
+		return 2
+	}
+	return 1
+}
+
+// predict2D is the 2-D Lorenzo predictor on reconstructed values with
+// out-of-range neighbours treated as zero.
+func predict2D(recon []float64, nx, i, j int) float64 {
+	at := func(ii, jj int) float64 {
+		if ii < 0 || jj < 0 {
+			return 0
+		}
+		return recon[jj*nx+ii]
+	}
+	return at(i-1, j) + at(i, j-1) - at(i-1, j-1)
+}
+
+// predict3D is the 3-D (7-term) Lorenzo predictor.
+func predict3D(recon []float64, nx, ny, i, j, k int) float64 {
+	at := func(ii, jj, kk int) float64 {
+		if ii < 0 || jj < 0 || kk < 0 {
+			return 0
+		}
+		return recon[(kk*ny+jj)*nx+ii]
+	}
+	return at(i-1, j, k) + at(i, j-1, k) + at(i, j, k-1) -
+		at(i-1, j-1, k) - at(i-1, j, k-1) - at(i, j-1, k-1) +
+		at(i-1, j-1, k-1)
+}
+
+// Compress implements compress.Compressor.
+func (c *Compressor) Compress(data []float64, dims []int, bound compress.Bound) ([]byte, error) {
+	if err := compress.Validate(data, dims); err != nil {
+		return nil, err
+	}
+	if c.Intervals < 4 || c.Intervals%2 != 0 {
+		return nil, fmt.Errorf("sz: intervals must be even and >= 4, got %d", c.Intervals)
+	}
+	eb := bound.Absolute(data)
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("sz: invalid error bound %v", eb)
+	}
+	n := len(data)
+	radius := c.Intervals / 2
+	twoEb := 2 * eb
+
+	codes := make([]int, n)
+	recon := make([]float64, n)
+	var unpred []float64
+
+	quantize := func(idx int, pred float64) {
+		v := data[idx]
+		diff := v - pred
+		q := math.Floor(diff/twoEb + 0.5)
+		if math.Abs(q) < float64(radius) {
+			r := pred + q*twoEb
+			// Guard against floating-point slop in pred+q*twoEb.
+			if math.Abs(r-v) <= eb {
+				codes[idx] = int(q) + radius
+				recon[idx] = r
+				return
+			}
+		}
+		codes[idx] = 0
+		unpred = append(unpred, v)
+		recon[idx] = v
+	}
+
+	predOrder := 1
+	scheme := schemeLorenzo
+	var selBytes []byte
+	switch len(dims) {
+	case 1:
+		predOrder = choose1DPredictor(data)
+		for i := 0; i < n; i++ {
+			quantize(i, predict1D(recon, i, predOrder))
+		}
+	case 2:
+		if c.DisableRegression {
+			ny, nx := dims[0], dims[1]
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					quantize(j*nx+i, predict2D(recon, nx, i, j))
+				}
+			}
+		} else {
+			scheme = schemeBlocked
+			selBytes = c.blockedEncode2D(data, recon, quantize, dims, eb)
+		}
+	case 3:
+		if c.DisableRegression {
+			nz, ny, nx := dims[0], dims[1], dims[2]
+			for k := 0; k < nz; k++ {
+				for j := 0; j < ny; j++ {
+					for i := 0; i < nx; i++ {
+						quantize((k*ny+j)*nx+i, predict3D(recon, nx, ny, i, j, k))
+					}
+				}
+			}
+		} else {
+			scheme = schemeBlocked
+			selBytes = c.blockedEncode3D(data, recon, quantize, dims, eb)
+		}
+	}
+
+	coded, err := huffman.EncodeAll(codes, c.Intervals)
+	if err != nil {
+		return nil, fmt.Errorf("sz: entropy stage: %w", err)
+	}
+
+	// Assemble payload: header, huffman blob, unpredictable values.
+	var payload bytes.Buffer
+	head := make([]byte, 0, 64)
+	head = binary.AppendUvarint(head, magic)
+	head = binary.AppendUvarint(head, version)
+	head = binary.AppendUvarint(head, uint64(len(dims)))
+	for _, d := range dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	head = binary.AppendUvarint(head, uint64(predOrder))
+	head = binary.AppendUvarint(head, uint64(scheme))
+	head = binary.AppendUvarint(head, uint64(c.Intervals))
+	head = binary.AppendUvarint(head, math.Float64bits(eb))
+	head = binary.AppendUvarint(head, uint64(len(unpred)))
+	head = binary.AppendUvarint(head, uint64(len(coded)))
+	head = binary.AppendUvarint(head, uint64(len(selBytes)))
+	payload.Write(head)
+	payload.Write(selBytes)
+	payload.Write(coded)
+	raw := make([]byte, 8)
+	for _, v := range unpred {
+		binary.LittleEndian.PutUint64(raw, math.Float64bits(v))
+		payload.Write(raw)
+	}
+
+	if c.DisableLossless {
+		return append([]byte{0}, payload.Bytes()...), nil
+	}
+	var out bytes.Buffer
+	out.WriteByte(1) // lossless stage marker
+	fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(payload.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	// If DEFLATE did not help (already dense Huffman output), keep the raw
+	// payload; the marker byte tells the decoder which path was taken.
+	if out.Len() >= payload.Len()+1 {
+		return append([]byte{0}, payload.Bytes()...), nil
+	}
+	return out.Bytes(), nil
+}
+
+// blockedEncode2D runs the per-block Lorenzo/regression selection over a
+// 2-D array, quantizing every cell, and returns the serialized selection
+// bits + regression coefficients.
+func (c *Compressor) blockedEncode2D(data, recon []float64, quantize func(idx int, pred float64), dims []int, eb float64) []byte {
+	ny, nx := dims[0], dims[1]
+	g := grid{gx: nx, gy: ny, gz: 1}
+	w := bitstream.NewWriter(0)
+	const b = regBlock2D
+	for oy := 0; oy < ny; oy += b {
+		nj := min(b, ny-oy)
+		for ox := 0; ox < nx; ox += b {
+			ni := min(b, nx-ox)
+			co := fitRegression(data, g, ox, oy, 0, ni, nj, 1)
+			use := chooseRegression(data, g, co, eb, ox, oy, 0, ni, nj, 1)
+			if use {
+				w.WriteBit(1)
+				co.write(w, false)
+			} else {
+				w.WriteBit(0)
+			}
+			for j := 0; j < nj; j++ {
+				for i := 0; i < ni; i++ {
+					idx := (oy+j)*nx + (ox + i)
+					var pred float64
+					if use {
+						pred = co.predict(i, j, 0, ni, nj, 1)
+					} else {
+						pred = predict2D(recon, nx, ox+i, oy+j)
+					}
+					quantize(idx, pred)
+				}
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// blockedEncode3D is the 3-D analogue of blockedEncode2D.
+func (c *Compressor) blockedEncode3D(data, recon []float64, quantize func(idx int, pred float64), dims []int, eb float64) []byte {
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	g := grid{gx: nx, gy: ny, gz: nz}
+	w := bitstream.NewWriter(0)
+	const b = regBlock3D
+	for oz := 0; oz < nz; oz += b {
+		nk := min(b, nz-oz)
+		for oy := 0; oy < ny; oy += b {
+			nj := min(b, ny-oy)
+			for ox := 0; ox < nx; ox += b {
+				ni := min(b, nx-ox)
+				co := fitRegression(data, g, ox, oy, oz, ni, nj, nk)
+				use := chooseRegression(data, g, co, eb, ox, oy, oz, ni, nj, nk)
+				if use {
+					w.WriteBit(1)
+					co.write(w, true)
+				} else {
+					w.WriteBit(0)
+				}
+				for k := 0; k < nk; k++ {
+					for j := 0; j < nj; j++ {
+						for i := 0; i < ni; i++ {
+							idx := ((oz+k)*ny+(oy+j))*nx + (ox + i)
+							var pred float64
+							if use {
+								pred = co.predict(i, j, k, ni, nj, nk)
+							} else {
+								pred = predict3D(recon, nx, ny, ox+i, oy+j, oz+k)
+							}
+							quantize(idx, pred)
+						}
+					}
+				}
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// blockedDecode2D mirrors blockedEncode2D on the decompression side.
+func blockedDecode2D(sel *bitstream.Reader, recon []float64, apply func(idx int, pred float64) error, dims []int) error {
+	ny, nx := dims[0], dims[1]
+	const b = regBlock2D
+	for oy := 0; oy < ny; oy += b {
+		nj := min(b, ny-oy)
+		for ox := 0; ox < nx; ox += b {
+			ni := min(b, nx-ox)
+			bit, err := sel.ReadBit()
+			if err != nil {
+				return err
+			}
+			var co regCoeffs
+			use := bit == 1
+			if use {
+				if co, err = readRegCoeffs(sel, false); err != nil {
+					return err
+				}
+			}
+			for j := 0; j < nj; j++ {
+				for i := 0; i < ni; i++ {
+					idx := (oy+j)*nx + (ox + i)
+					var pred float64
+					if use {
+						pred = co.predict(i, j, 0, ni, nj, 1)
+					} else {
+						pred = predict2D(recon, nx, ox+i, oy+j)
+					}
+					if err := apply(idx, pred); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// blockedDecode3D mirrors blockedEncode3D on the decompression side.
+func blockedDecode3D(sel *bitstream.Reader, recon []float64, apply func(idx int, pred float64) error, dims []int) error {
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	const b = regBlock3D
+	for oz := 0; oz < nz; oz += b {
+		nk := min(b, nz-oz)
+		for oy := 0; oy < ny; oy += b {
+			nj := min(b, ny-oy)
+			for ox := 0; ox < nx; ox += b {
+				ni := min(b, nx-ox)
+				bit, err := sel.ReadBit()
+				if err != nil {
+					return err
+				}
+				var co regCoeffs
+				use := bit == 1
+				if use {
+					if co, err = readRegCoeffs(sel, true); err != nil {
+						return err
+					}
+				}
+				for k := 0; k < nk; k++ {
+					for j := 0; j < nj; j++ {
+						for i := 0; i < ni; i++ {
+							idx := ((oz+k)*ny+(oy+j))*nx + (ox + i)
+							var pred float64
+							if use {
+								pred = co.predict(i, j, k, ni, nj, nk)
+							} else {
+								pred = predict3D(recon, nx, ny, ox+i, oy+j, oz+k)
+							}
+							if err := apply(idx, pred); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ErrCorrupt is returned for malformed payloads.
+var ErrCorrupt = errors.New("sz: corrupt payload")
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
+	if len(buf) < 2 {
+		return nil, ErrCorrupt
+	}
+	marker, body := buf[0], buf[1:]
+	switch marker {
+	case 0:
+	case 1:
+		var err error
+		body, err = io.ReadAll(flate.NewReader(bytes.NewReader(body)))
+		if err != nil {
+			return nil, fmt.Errorf("sz: lossless stage: %w", err)
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+
+	rd := body
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	mg, err := next()
+	if err != nil || mg != magic {
+		return nil, ErrCorrupt
+	}
+	ver, err := next()
+	if err != nil || ver != version {
+		return nil, fmt.Errorf("sz: unsupported version %d", ver)
+	}
+	ndims64, err := next()
+	if err != nil || ndims64 < 1 || ndims64 > 3 {
+		return nil, ErrCorrupt
+	}
+	dims := make([]int, ndims64)
+	n := 1
+	for i := range dims {
+		d, err := next()
+		if err != nil || d == 0 || d > 1<<40 {
+			return nil, ErrCorrupt
+		}
+		dims[i] = int(d)
+	}
+	n, err = compress.CheckSize(dims)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	predOrder64, err := next()
+	if err != nil || predOrder64 < 1 || predOrder64 > 2 {
+		return nil, ErrCorrupt
+	}
+	predOrder := int(predOrder64)
+	scheme64, err := next()
+	if err != nil || scheme64 > schemeBlocked {
+		return nil, ErrCorrupt
+	}
+	scheme := int(scheme64)
+	if scheme == schemeBlocked && len(dims) < 2 {
+		return nil, ErrCorrupt
+	}
+	intervals64, err := next()
+	if err != nil || intervals64 < 4 || intervals64%2 != 0 {
+		return nil, ErrCorrupt
+	}
+	radius := int(intervals64) / 2
+	ebBits, err := next()
+	if err != nil {
+		return nil, err
+	}
+	eb := math.Float64frombits(ebBits)
+	nUnpred64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	codedLen64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	selLen64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rd)) < selLen64+codedLen64+8*nUnpred64 {
+		return nil, ErrCorrupt
+	}
+	selBytes := rd[:selLen64]
+	coded := rd[selLen64 : selLen64+codedLen64]
+	rawUnpred := rd[selLen64+codedLen64 : selLen64+codedLen64+8*nUnpred64]
+
+	codes, err := huffman.DecodeAll(coded)
+	if err != nil {
+		return nil, fmt.Errorf("sz: entropy stage: %w", err)
+	}
+	if len(codes) != n {
+		return nil, fmt.Errorf("sz: %d codes for %d values", len(codes), n)
+	}
+	unpred := make([]float64, nUnpred64)
+	for i := range unpred {
+		unpred[i] = math.Float64frombits(binary.LittleEndian.Uint64(rawUnpred[8*i:]))
+	}
+
+	twoEb := 2 * eb
+	recon := make([]float64, n)
+	ui := 0
+	apply := func(idx int, pred float64) error {
+		code := codes[idx]
+		if code == 0 {
+			if ui >= len(unpred) {
+				return ErrCorrupt
+			}
+			recon[idx] = unpred[ui]
+			ui++
+			return nil
+		}
+		recon[idx] = pred + float64(code-radius)*twoEb
+		return nil
+	}
+	switch {
+	case len(dims) == 1:
+		for i := 0; i < n; i++ {
+			if err := apply(i, predict1D(recon, i, predOrder)); err != nil {
+				return nil, err
+			}
+		}
+	case len(dims) == 2 && scheme == schemeBlocked:
+		if err := blockedDecode2D(bitstream.NewReader(selBytes), recon, apply, dims); err != nil {
+			return nil, err
+		}
+	case len(dims) == 2:
+		ny, nx := dims[0], dims[1]
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if err := apply(j*nx+i, predict2D(recon, nx, i, j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case len(dims) == 3 && scheme == schemeBlocked:
+		if err := blockedDecode3D(bitstream.NewReader(selBytes), recon, apply, dims); err != nil {
+			return nil, err
+		}
+	case len(dims) == 3:
+		nz, ny, nx := dims[0], dims[1], dims[2]
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					if err := apply((k*ny+j)*nx+i, predict3D(recon, nx, ny, i, j, k)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if ui != len(unpred) {
+		return nil, ErrCorrupt
+	}
+	return recon, nil
+}

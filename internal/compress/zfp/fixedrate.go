@@ -1,0 +1,407 @@
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/compress"
+)
+
+// Fixed-rate mode: every 4^d block is coded with exactly the same number of
+// bits, trading the error guarantee of accuracy mode for a fixed size and —
+// the reason ZFP applications use it — random access: any block can be
+// decoded from bit offset blockIndex × maxbits without touching the rest of
+// the stream.
+
+const rateMagic = 0x5a465052 // "ZFPR"
+
+// minBlockBits is the smallest per-block budget: the zero flag plus the
+// 16-bit exponent must fit, and at least one plane bit should remain.
+const minBlockBits = 18
+
+// encodeIntsBudget is encodeInts with ZFP's exact bit-budget semantics;
+// it returns the number of budget bits actually written.
+func encodeIntsBudget(w *bitstream.Writer, u []uint64, maxprec int, pm []int, budget int) int {
+	size := len(u)
+	kmin := intprec - maxprec
+	n := 0
+	bits := budget
+	for k := intprec - 1; k >= kmin && bits > 0; k-- {
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= ((u[pm[i]] >> uint(k)) & 1) << uint(i)
+		}
+		m := n
+		if bits < m {
+			m = bits
+		}
+		w.WriteBits(x, uint(m))
+		x >>= uint(m)
+		bits -= m
+		for n < size && bits > 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits > 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return budget - bits
+}
+
+// decodeIntsBudget mirrors encodeIntsBudget, returning bits consumed.
+func decodeIntsBudget(r *bitstream.Reader, u []uint64, maxprec int, pm []int, budget int) (int, error) {
+	size := len(u)
+	kmin := intprec - maxprec
+	n := 0
+	bits := budget
+	for k := intprec - 1; k >= kmin && bits > 0; k-- {
+		m := n
+		if bits < m {
+			m = bits
+		}
+		x, err := r.ReadBits(uint(m))
+		if err != nil {
+			return 0, err
+		}
+		bits -= m
+		for n < size && bits > 0 {
+			bits--
+			gb, err := r.ReadBit()
+			if err != nil {
+				return 0, err
+			}
+			if gb == 0 {
+				break
+			}
+			for n < size-1 && bits > 0 {
+				bits--
+				b, err := r.ReadBit()
+				if err != nil {
+					return 0, err
+				}
+				if b != 0 {
+					break
+				}
+				n++
+			}
+			x |= 1 << uint(n)
+			n++
+		}
+		for i := 0; i < size && x != 0; i++ {
+			u[pm[i]] |= (x & 1) << uint(k)
+			x >>= 1
+		}
+	}
+	return budget - bits, nil
+}
+
+// encodeBlockRate codes one block into exactly maxbits bits.
+func encodeBlockRate(w *bitstream.Writer, blk []float64, dims, maxbits int) {
+	start := w.Len()
+	budget := maxbits
+	maxabs := 0.0
+	for _, v := range blk {
+		if a := math.Abs(v); a > maxabs {
+			maxabs = a
+		}
+	}
+	if maxabs == 0 {
+		w.WriteBit(0)
+		budget--
+	} else {
+		w.WriteBit(1)
+		budget--
+		_, emax := math.Frexp(maxabs)
+		w.WriteBits(uint64(emax+ebias), 16)
+		budget -= 16
+		s := math.Ldexp(1, intprec-2-emax)
+		iblk := make([]int64, len(blk))
+		for i, v := range blk {
+			iblk[i] = int64(v * s)
+		}
+		fwdXform(iblk, dims)
+		u := make([]uint64, len(iblk))
+		for i, q := range iblk {
+			u[i] = negabinary(q)
+		}
+		used := encodeIntsBudget(w, u, intprec, perm(dims), budget)
+		budget -= used
+	}
+	// Zero-pad so the block occupies exactly maxbits bits.
+	for w.Len() < start+uint64(maxbits) {
+		pad := start + uint64(maxbits) - w.Len()
+		if pad > 64 {
+			pad = 64
+		}
+		w.WriteBits(0, uint(pad))
+	}
+	_ = budget
+}
+
+// decodeBlockRate reads one block of exactly maxbits bits.
+func decodeBlockRate(r *bitstream.Reader, blk []float64, dims, maxbits int) error {
+	start := r.BitsRead()
+	budget := maxbits
+	nz, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	budget--
+	if nz == 0 {
+		for i := range blk {
+			blk[i] = 0
+		}
+	} else {
+		e64, err := r.ReadBits(16)
+		if err != nil {
+			return err
+		}
+		budget -= 16
+		emax := int(e64) - ebias
+		u := make([]uint64, len(blk))
+		if _, err := decodeIntsBudget(r, u, intprec, perm(dims), budget); err != nil {
+			return err
+		}
+		iblk := make([]int64, len(blk))
+		for i, v := range u {
+			iblk[i] = invNegabinary(v)
+		}
+		invXform(iblk, dims)
+		s := math.Ldexp(1, emax-(intprec-2))
+		for i, q := range iblk {
+			blk[i] = float64(q) * s
+		}
+	}
+	// Skip padding to the block boundary.
+	for r.BitsRead() < start+uint64(maxbits) {
+		skip := start + uint64(maxbits) - r.BitsRead()
+		if skip > 64 {
+			skip = 64
+		}
+		if _, err := r.ReadBits(uint(skip)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FixedRate is the fixed-rate codec façade. BitsPerValue is the rate; the
+// per-block budget is BitsPerValue × 4^dims rounded down.
+type FixedRate struct {
+	BitsPerValue float64
+}
+
+// blockBits computes the per-block bit budget for a dimensionality.
+func (f FixedRate) blockBits(ndims int) int {
+	size := 1 << (2 * uint(ndims))
+	return int(f.BitsPerValue * float64(size))
+}
+
+// Compress encodes data at the fixed rate. Unlike accuracy mode there is no
+// error bound: accuracy follows from the rate.
+func (f FixedRate) Compress(data []float64, dims []int) ([]byte, error) {
+	if err := compress.Validate(data, dims); err != nil {
+		return nil, err
+	}
+	maxbits := f.blockBits(len(dims))
+	if maxbits < minBlockBits {
+		return nil, fmt.Errorf("zfp: rate %v gives %d bits/block; need >= %d",
+			f.BitsPerValue, maxbits, minBlockBits)
+	}
+	head := make([]byte, 0, 64)
+	head = binary.AppendUvarint(head, rateMagic)
+	head = binary.AppendUvarint(head, version)
+	head = binary.AppendUvarint(head, uint64(len(dims)))
+	for _, d := range dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	head = binary.AppendUvarint(head, uint64(maxbits))
+
+	w := bitstream.NewWriter(len(data) * 8)
+	forEachBlock(dims, func(coords [3]int) {
+		blk := gatherBlock(data, dims, coords)
+		encodeBlockRate(w, blk, len(dims), maxbits)
+	})
+	return append(head, w.Bytes()...), nil
+}
+
+// ErrBadRateStream is returned for malformed fixed-rate payloads.
+var ErrBadRateStream = errors.New("zfp: corrupt fixed-rate payload")
+
+// parseRateHeader returns dims, maxbits and the bitstream body.
+func parseRateHeader(buf []byte) ([]int, int, []byte, error) {
+	rd := buf
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, ErrBadRateStream
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	mg, err := next()
+	if err != nil || mg != rateMagic {
+		return nil, 0, nil, ErrBadRateStream
+	}
+	ver, err := next()
+	if err != nil || ver != version {
+		return nil, 0, nil, ErrBadRateStream
+	}
+	nd, err := next()
+	if err != nil || nd < 1 || nd > 3 {
+		return nil, 0, nil, ErrBadRateStream
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		d, err := next()
+		if err != nil || d == 0 || d > 1<<40 {
+			return nil, 0, nil, ErrBadRateStream
+		}
+		dims[i] = int(d)
+	}
+	if _, err := compress.CheckSize(dims); err != nil {
+		return nil, 0, nil, ErrBadRateStream
+	}
+	mb, err := next()
+	if err != nil || mb < minBlockBits || mb > 1<<24 {
+		return nil, 0, nil, ErrBadRateStream
+	}
+	return dims, int(mb), rd, nil
+}
+
+// Decompress decodes the whole fixed-rate stream.
+func (f FixedRate) Decompress(buf []byte) ([]float64, error) {
+	dims, maxbits, body, err := parseRateHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	n, err := compress.CheckSize(dims)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	r := bitstream.NewReader(body)
+	var derr error
+	forEachBlock(dims, func(coords [3]int) {
+		if derr != nil {
+			return
+		}
+		blk := make([]float64, 1<<(2*uint(len(dims))))
+		if err := decodeBlockRate(r, blk, len(dims), maxbits); err != nil {
+			derr = err
+			return
+		}
+		scatterBlock(out, dims, coords, blk)
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return out, nil
+}
+
+// DecodeBlockAt randomly accesses one block by its index in row-major
+// block order, decoding exactly maxbits bits at offset index × maxbits.
+// It returns the block's values (padding positions of partial edge blocks
+// hold replicated values, as at encode time).
+func (f FixedRate) DecodeBlockAt(buf []byte, index int) ([]float64, error) {
+	dims, maxbits, body, err := parseRateHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	nBlocks := 1
+	for _, d := range dims {
+		nBlocks *= blockCount(d)
+	}
+	if index < 0 || index >= nBlocks {
+		return nil, fmt.Errorf("zfp: block index %d out of range [0,%d)", index, nBlocks)
+	}
+	r := bitstream.NewReader(body)
+	// Seek: skip index×maxbits bits.
+	skip := uint64(index) * uint64(maxbits)
+	for skip > 0 {
+		c := skip
+		if c > 64 {
+			c = 64
+		}
+		if _, err := r.ReadBits(uint(c)); err != nil {
+			return nil, err
+		}
+		skip -= c
+	}
+	blk := make([]float64, 1<<(2*uint(len(dims))))
+	if err := decodeBlockRate(r, blk, len(dims), maxbits); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// forEachBlock enumerates block origins in row-major block order.
+func forEachBlock(dims []int, fn func(coords [3]int)) {
+	switch len(dims) {
+	case 1:
+		for b := 0; b < blockCount(dims[0]); b++ {
+			fn([3]int{b, 0, 0})
+		}
+	case 2:
+		for bj := 0; bj < blockCount(dims[0]); bj++ {
+			for bi := 0; bi < blockCount(dims[1]); bi++ {
+				fn([3]int{bi, bj, 0})
+			}
+		}
+	case 3:
+		for bk := 0; bk < blockCount(dims[0]); bk++ {
+			for bj := 0; bj < blockCount(dims[1]); bj++ {
+				for bi := 0; bi < blockCount(dims[2]); bi++ {
+					fn([3]int{bi, bj, bk})
+				}
+			}
+		}
+	}
+}
+
+// gatherBlock extracts the block at the given block coordinates.
+func gatherBlock(data []float64, dims []int, c [3]int) []float64 {
+	switch len(dims) {
+	case 1:
+		blk := make([]float64, 4)
+		gather1(data, dims[0], c[0], blk)
+		return blk
+	case 2:
+		blk := make([]float64, 16)
+		gather2(data, dims[1], dims[0], c[0], c[1], blk)
+		return blk
+	default:
+		blk := make([]float64, 64)
+		gather3(data, dims[2], dims[1], dims[0], c[0], c[1], c[2], blk)
+		return blk
+	}
+}
+
+// scatterBlock writes a block back.
+func scatterBlock(out []float64, dims []int, c [3]int, blk []float64) {
+	switch len(dims) {
+	case 1:
+		scatter1(out, dims[0], c[0], blk)
+	case 2:
+		scatter2(out, dims[1], dims[0], c[0], c[1], blk)
+	default:
+		scatter3(out, dims[2], dims[1], dims[0], c[0], c[1], c[2], blk)
+	}
+}

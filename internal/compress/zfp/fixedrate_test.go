@@ -1,0 +1,204 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFixedRatePayloadSize(t *testing.T) {
+	// The defining property: payload size depends only on rate and block
+	// count, never on the data.
+	n := 4096
+	smooth := make([]float64, n)
+	noisy := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i) / 50)
+		noisy[i] = rng.NormFloat64() * 1e6
+	}
+	f := FixedRate{BitsPerValue: 8}
+	a, err := f.Compress(smooth, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Compress(noisy, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fixed rate sizes differ: %d vs %d", len(a), len(b))
+	}
+	// 8 bits/value over 4096 values = 4096 bytes + small header.
+	if len(a) < 4096 || len(a) > 4096+64 {
+		t.Fatalf("payload %d bytes for 8 bits/value over %d values", len(a), n)
+	}
+}
+
+func TestFixedRateRoundTripAccuracy(t *testing.T) {
+	// Higher rates must give monotonically better reconstructions.
+	n := 8192
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/100) + 0.01*math.Cos(float64(i)/3)
+	}
+	prev := math.Inf(1)
+	for _, rate := range []float64{6, 12, 24, 48} {
+		f := FixedRate{BitsPerValue: rate}
+		buf, err := f.Compress(data, []int{n})
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		got, err := f.Decompress(buf)
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		var maxe float64
+		for i := range data {
+			if e := math.Abs(data[i] - got[i]); e > maxe {
+				maxe = e
+			}
+		}
+		if maxe >= prev {
+			t.Fatalf("rate %v: error %g not better than lower rate's %g", rate, maxe, prev)
+		}
+		prev = maxe
+	}
+	if prev > 1e-9 {
+		t.Fatalf("48 bits/value leaves error %g", prev)
+	}
+}
+
+func TestFixedRate2D(t *testing.T) {
+	ny, nx := 37, 41
+	data := make([]float64, ny*nx)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			data[j*nx+i] = math.Exp(-float64((i-20)*(i-20)+(j-18)*(j-18)) / 80)
+		}
+	}
+	f := FixedRate{BitsPerValue: 16}
+	buf, err := f.Compress(data, []int{ny, nx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if e := math.Abs(data[i] - got[i]); e > 1e-3 {
+			t.Fatalf("cell %d error %g at 16 bits/value", i, e)
+		}
+	}
+}
+
+func TestRandomAccessMatchesFullDecode(t *testing.T) {
+	ny, nx := 32, 48 // 8 x 12 blocks
+	data := make([]float64, ny*nx)
+	rng := rand.New(rand.NewSource(4))
+	v := 0.0
+	for i := range data {
+		v += rng.NormFloat64()
+		data[i] = v
+	}
+	f := FixedRate{BitsPerValue: 20}
+	buf, err := f.Compress(data, []int{ny, nx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := f.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBlocks := (ny / 4) * (nx / 4)
+	for _, idx := range []int{0, 1, 17, nBlocks - 1} {
+		blk, err := f.DecodeBlockAt(buf, idx)
+		if err != nil {
+			t.Fatalf("block %d: %v", idx, err)
+		}
+		// Block idx covers rows 4*(idx/12).. and cols 4*(idx%12)..
+		bj, bi := idx/(nx/4), idx%(nx/4)
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				want := full[(4*bj+j)*nx+(4*bi+i)]
+				got := blk[4*j+i]
+				if got != want {
+					t.Fatalf("block %d cell (%d,%d): random access %v != full %v",
+						idx, i, j, got, want)
+				}
+			}
+		}
+	}
+	if _, err := f.DecodeBlockAt(buf, nBlocks); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, err := f.DecodeBlockAt(buf, -1); err == nil {
+		t.Fatal("negative block accepted")
+	}
+}
+
+func TestFixedRateZeroBlocks(t *testing.T) {
+	data := make([]float64, 1024)
+	f := FixedRate{BitsPerValue: 8}
+	buf, err := f.Compress(data, []int{len(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("cell %d = %v", i, v)
+		}
+	}
+}
+
+func TestFixedRateValidation(t *testing.T) {
+	f := FixedRate{BitsPerValue: 0.5} // 2 bits/block in 1-D: too small
+	if _, err := f.Compress(make([]float64, 8), []int{8}); err == nil {
+		t.Fatal("tiny rate accepted")
+	}
+	g := FixedRate{BitsPerValue: 8}
+	if _, err := g.Compress([]float64{math.NaN()}, []int{1}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := g.Decompress([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := g.DecodeBlockAt([]byte{1, 2, 3}, 0); err == nil {
+		t.Fatal("garbage accepted for random access")
+	}
+}
+
+func TestFixedRate3D(t *testing.T) {
+	nz, ny, nx := 8, 8, 8
+	data := make([]float64, nz*ny*nx)
+	for i := range data {
+		data[i] = float64(i % 97)
+	}
+	f := FixedRate{BitsPerValue: 24}
+	buf, err := f.Compress(data, []int{nz, ny, nx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if e := math.Abs(data[i] - got[i]); e > 0.5 {
+			t.Fatalf("cell %d error %g", i, e)
+		}
+	}
+	// Random access in 3-D.
+	blk, err := f.DecodeBlockAt(buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk) != 64 {
+		t.Fatalf("3-D block has %d values", len(blk))
+	}
+}

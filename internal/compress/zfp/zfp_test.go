@@ -1,0 +1,432 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/compress"
+)
+
+func maxErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestPermTables(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		pm := perm(dims)
+		size := 1 << (2 * uint(dims))
+		if len(pm) != size {
+			t.Fatalf("dims=%d: perm length %d", dims, len(pm))
+		}
+		seen := make([]bool, size)
+		prevDeg := -1
+		for _, p := range pm {
+			if p < 0 || p >= size || seen[p] {
+				t.Fatalf("dims=%d: invalid perm %v", dims, pm)
+			}
+			seen[p] = true
+			deg := 0
+			for k := 0; k < dims; k++ {
+				deg += (p >> (2 * uint(k))) & 3
+			}
+			if deg < prevDeg {
+				t.Fatalf("dims=%d: perm not degree-ordered", dims)
+			}
+			prevDeg = deg
+		}
+	}
+	// DC coefficient first.
+	if perm2[0] != 0 || perm3[0] != 0 {
+		t.Fatal("DC coefficient must come first")
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math.MaxInt64 / 4, -math.MaxInt64 / 4}
+	for _, v := range vals {
+		if got := invNegabinary(negabinary(v)); got != v {
+			t.Fatalf("negabinary(%d) round trip = %d", v, got)
+		}
+	}
+	f := func(v int64) bool { return invNegabinary(negabinary(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegabinaryMagnitudeOrdering(t *testing.T) {
+	// Small-magnitude values must map to codes with fewer significant bits,
+	// which is what makes MSB-first plane coding effective.
+	if bitsLen(negabinary(0)) != 0 {
+		t.Fatal("negabinary(0) must be 0")
+	}
+	small := bitsLen(negabinary(3))
+	large := bitsLen(negabinary(1 << 30))
+	if small >= large {
+		t.Fatalf("bit length not monotone: %d vs %d", small, large)
+	}
+}
+
+// encodeInts/decodeInts at full precision must be lossless.
+func TestIntsCoderLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dims := range []int{1, 2, 3} {
+		size := 1 << (2 * uint(dims))
+		pm := perm(dims)
+		for trial := 0; trial < 50; trial++ {
+			u := make([]uint64, size)
+			for i := range u {
+				// Mix of magnitudes, including zeros.
+				switch rng.Intn(4) {
+				case 0:
+					u[i] = 0
+				case 1:
+					u[i] = uint64(rng.Intn(16))
+				case 2:
+					u[i] = rng.Uint64() >> 33
+				default:
+					u[i] = rng.Uint64() >> 2
+				}
+			}
+			w := bitstream.NewWriter(0)
+			encodeInts(w, u, intprec, pm)
+			got := make([]uint64, size)
+			r := bitstream.NewReader(w.Bytes())
+			if err := decodeInts(r, got, intprec, pm); err != nil {
+				t.Fatalf("dims=%d trial=%d: %v", dims, trial, err)
+			}
+			for i := range u {
+				if got[i] != u[i] {
+					t.Fatalf("dims=%d trial=%d coeff=%d: %#x vs %#x", dims, trial, i, got[i], u[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLiftTransformApproxInverse(t *testing.T) {
+	// The lifting transform discards a few low-order bits; for values far
+	// above the LSB the inverse must reproduce the input to tiny relative
+	// error.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		for _, dims := range []int{1, 2, 3} {
+			size := 1 << (2 * uint(dims))
+			blk := make([]int64, size)
+			orig := make([]int64, size)
+			for i := range blk {
+				blk[i] = int64(rng.Uint64()>>4) - (1 << 59)
+				orig[i] = blk[i]
+			}
+			fwdXform(blk, dims)
+			invXform(blk, dims)
+			for i := range blk {
+				diff := blk[i] - orig[i]
+				if diff < 0 {
+					diff = -diff
+				}
+				// Allowed slack: a handful of LSBs per lifting pass.
+				if diff > 64 {
+					t.Fatalf("dims=%d coeff=%d: drift %d", dims, i, diff)
+				}
+			}
+		}
+	}
+}
+
+func smooth2D(ny, nx int) []float64 {
+	data := make([]float64, ny*nx)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			data[j*nx+i] = math.Sin(float64(i)/9)*math.Cos(float64(j)/7) + 0.1*float64(i+j)
+		}
+	}
+	return data
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	c := New()
+	n := 10000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 40)
+	}
+	for _, eb := range []float64{1e-1, 1e-3, 1e-6, 1e-9} {
+		buf, err := c.Compress(data, []int{n}, compress.AbsBound(eb))
+		if err != nil {
+			t.Fatalf("eb=%g: %v", eb, err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("eb=%g: %v", eb, err)
+		}
+		if len(got) != n {
+			t.Fatalf("eb=%g: %d values", eb, len(got))
+		}
+		if e := maxErr(data, got); e > eb {
+			t.Fatalf("eb=%g: max error %g exceeds bound", eb, e)
+		}
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	c := New()
+	data := smooth2D(63, 65) // deliberately not multiples of 4
+	eb := 1e-4
+	buf, err := c.Compress(data, []int{63, 65}, compress.AbsBound(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, got); e > eb {
+		t.Fatalf("max error %g exceeds %g", e, eb)
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	c := New()
+	nz, ny, nx := 9, 13, 17
+	data := make([]float64, nz*ny*nx)
+	idx := 0
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				data[idx] = math.Exp(-float64((i-8)*(i-8)+(j-6)*(j-6)+(k-4)*(k-4)) / 40)
+				idx++
+			}
+		}
+	}
+	eb := 1e-5
+	buf, err := c.Compress(data, []int{nz, ny, nx}, compress.AbsBound(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, got); e > eb {
+		t.Fatalf("max error %g exceeds %g", e, eb)
+	}
+}
+
+func TestSmoothCompressesWell(t *testing.T) {
+	c := New()
+	data := smooth2D(256, 256)
+	buf, err := c.Compress(data, []int{256, 256}, compress.RelBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := compress.Ratio(len(data), buf); r < 6 {
+		t.Fatalf("smooth 2-D ratio %.2f, want >= 6", r)
+	}
+}
+
+func TestZeroBlocksAreCheap(t *testing.T) {
+	c := New()
+	data := make([]float64, 100000) // all zeros
+	buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bit per 4-value block plus header.
+	if len(buf) > len(data)/4/8+64 {
+		t.Fatalf("zero data took %d bytes", len(buf))
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("value %d = %v", i, v)
+		}
+	}
+}
+
+func TestHugeToleranceZeroesData(t *testing.T) {
+	c := New()
+	data := []float64{1e-6, -1e-6, 2e-6, 0}
+	buf, err := c.Compress(data, []int{4}, compress.AbsBound(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, got); e > 1.0 {
+		t.Fatalf("error %g", e)
+	}
+}
+
+func TestRandomDataBounded(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(17))
+	data := make([]float64, 8192)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+	}
+	for _, eb := range []float64{1e-2, 1e-5, 1e-8} {
+		buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(eb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(data, got); e > eb {
+			t.Fatalf("eb=%g: max error %g", eb, e)
+		}
+	}
+}
+
+func TestMixedMagnitudeBlocks(t *testing.T) {
+	// Exercise per-block exponents: alternating tiny and huge regions.
+	c := New()
+	data := make([]float64, 4096)
+	for i := range data {
+		if (i/4)%2 == 0 {
+			data[i] = 1e-12 * float64(i%17)
+		} else {
+			data[i] = 1e12 * math.Sin(float64(i)/5)
+		}
+	}
+	eb := 1e-3
+	buf, err := c.Compress(data, []int{len(data)}, compress.AbsBound(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, got); e > eb {
+		t.Fatalf("max error %g", e)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	c := New()
+	if _, err := c.Compress([]float64{1}, []int{2}, compress.AbsBound(1e-3)); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	if _, err := c.Compress([]float64{math.Inf(1)}, []int{1}, compress.AbsBound(1e-3)); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if _, err := c.Compress([]float64{1}, []int{1}, compress.AbsBound(0)); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+}
+
+func TestCorruptPayload(t *testing.T) {
+	c := New()
+	if _, err := c.Decompress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := c.Decompress([]byte{0x01, 0x02}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	data := smooth2D(16, 16)
+	buf, err := c.Compress(data, []int{16, 16}, compress.AbsBound(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(buf[:len(buf)/4]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	c, err := compress.Get("zfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "zfp" {
+		t.Fatalf("name %q", c.Name())
+	}
+}
+
+// property: the bound holds for arbitrary random-walk inputs across bounds
+// and shapes.
+func TestBoundQuick(t *testing.T) {
+	c := New()
+	f := func(seed int64, size uint16, ebExp uint8, twoD bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%2000) + 1
+		var dims []int
+		if twoD {
+			ny := int(math.Sqrt(float64(n)))
+			if ny < 1 {
+				ny = 1
+			}
+			nx := (n + ny - 1) / ny
+			n = nx * ny
+			dims = []int{ny, nx}
+		} else {
+			dims = []int{n}
+		}
+		data := make([]float64, n)
+		v := 0.0
+		for i := range data {
+			v += rng.NormFloat64()
+			data[i] = v
+		}
+		eb := math.Pow(10, -float64(ebExp%8))
+		buf, err := c.Compress(data, dims, compress.AbsBound(eb))
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		return maxErr(data, got) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress2D(b *testing.B) {
+	c := New()
+	data := smooth2D(512, 512)
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, []int{512, 512}, compress.RelBound(1e-4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress2D(b *testing.B) {
+	c := New()
+	data := smooth2D(512, 512)
+	buf, err := c.Compress(data, []int{512, 512}, compress.RelBound(1e-4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

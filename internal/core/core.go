@@ -1,0 +1,424 @@
+// Package core implements zMesh, the paper's contribution: a level
+// reordering for block-structured AMR data that groups points mapped to the
+// same or adjacent geometric coordinates so the serialized stream is
+// smoother and therefore more compressible by error-bounded lossy
+// compressors.
+//
+// The reordering is described by a Recipe — a permutation between the
+// application's native level-by-level layout and the zMesh layout. The
+// recipe is a pure function of the mesh topology (the "chained tree"): it is
+// rebuilt identically at decompression time from the AMR tree metadata the
+// application already stores, so compressed payloads carry no permutation
+// bytes at all.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/amr"
+	"repro/internal/sfc"
+)
+
+// Layout selects a serialization order for an AMR field.
+type Layout int
+
+// Layouts.
+const (
+	// LevelOrder is the application baseline: one array per level, blocks
+	// row-major within the level, cells row-major within each block.
+	LevelOrder Layout = iota
+	// SFCWithinLevel orders each level's cells along a space-filling curve
+	// but keeps levels separate — the "Z-ordering"/"Hilbert" baseline the
+	// paper compares against.
+	SFCWithinLevel
+	// ZMesh is the paper's chained-tree order: a per-cell depth-first
+	// descent of the refinement forest that emits each coarse cell
+	// immediately before the 2^dims finer cells covering exactly its
+	// geometric footprint, sub-cells and siblings ordered by the curve.
+	// This groups points mapped to the same or adjacent coordinates.
+	ZMesh
+	// ZMeshBlock is the coarse-grained ablation variant: the chained-tree
+	// descent happens per *block* — a block's cells (curve order) are
+	// emitted immediately before its children's. Less same-coordinate
+	// grouping, longer uniform-resolution runs.
+	ZMeshBlock
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LevelOrder:
+		return "level"
+	case SFCWithinLevel:
+		return "sfc-level"
+	case ZMesh:
+		return "zmesh"
+	case ZMeshBlock:
+		return "zmesh-block"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// ParseLayout parses a layout name as printed by String.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "level":
+		return LevelOrder, nil
+	case "sfc-level":
+		return SFCWithinLevel, nil
+	case "zmesh":
+		return ZMesh, nil
+	case "zmesh-block":
+		return ZMeshBlock, nil
+	}
+	return 0, fmt.Errorf("core: unknown layout %q", s)
+}
+
+// Recipe is the restore recipe: a bijection between the level-order stream
+// and a target layout for one mesh topology.
+type Recipe struct {
+	layout Layout
+	curve  string
+	n      int
+	// perm[t] is the level-order position of the value at target position t.
+	perm []int32
+}
+
+// Layout reports the recipe's target layout.
+func (r *Recipe) Layout() Layout { return r.layout }
+
+// Curve reports the sibling-ordering curve name.
+func (r *Recipe) Curve() string { return r.curve }
+
+// Len reports the number of points the recipe permutes.
+func (r *Recipe) Len() int { return r.n }
+
+// Perm exposes the raw permutation (target position → level-order
+// position) for inspection; callers must not modify it.
+func (r *Recipe) Perm() []int32 { return r.perm }
+
+// Apply reorders a level-order stream into the recipe's layout.
+func (r *Recipe) Apply(flat []float64) ([]float64, error) {
+	if len(flat) != r.n {
+		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(flat), r.n)
+	}
+	out := make([]float64, r.n)
+	for t, s := range r.perm {
+		out[t] = flat[s]
+	}
+	return out, nil
+}
+
+// Restore inverts Apply.
+func (r *Recipe) Restore(ordered []float64) ([]float64, error) {
+	if len(ordered) != r.n {
+		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(ordered), r.n)
+	}
+	out := make([]float64, r.n)
+	for t, s := range r.perm {
+		out[s] = ordered[t]
+	}
+	return out, nil
+}
+
+// ceilLog2 returns the smallest b with 2^b >= v (v >= 1).
+func ceilLog2(v int) uint {
+	if v <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(v - 1)))
+}
+
+// builder carries the traversal state shared by the layout constructions.
+type builder struct {
+	m     *amr.Mesh
+	curve sfc.Curve
+	// levelOffset[l] is the position of level l's first value in the
+	// level-order stream; blockBase[id] the position of a block's first cell.
+	blockBase []int32
+	perm      []int32
+	cpb       int
+	bs        int
+	kmax      int
+}
+
+func newBuilder(m *amr.Mesh, curveName string) (*builder, error) {
+	curve, err := sfc.New(curveName, m.Dims())
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		m:     m,
+		curve: curve,
+		cpb:   m.CellsPerBlock(),
+		bs:    m.BlockSize(),
+		kmax:  1,
+	}
+	if m.Dims() == 3 {
+		b.kmax = b.bs
+	}
+	// Level-order base position for every block.
+	b.blockBase = make([]int32, m.NumBlocks())
+	pos := int32(0)
+	for level := 0; level <= m.MaxLevel(); level++ {
+		for _, id := range m.SortedLevel(level) {
+			b.blockBase[id] = pos
+			pos += int32(b.cpb)
+		}
+	}
+	b.perm = make([]int32, 0, pos)
+	return b, nil
+}
+
+// cellPos is the level-order stream position of cell (i,j,k) of a block.
+func (b *builder) cellPos(id amr.BlockID, i, j, k int) int32 {
+	off := j*b.bs + i
+	if b.m.Dims() == 3 {
+		off = (k*b.bs+j)*b.bs + i
+	}
+	return b.blockBase[id] + int32(off)
+}
+
+// BuildRecipe derives the restore recipe for the given layout and sibling
+// curve ("morton", "hilbert" or "rowmajor") from the mesh topology alone.
+func BuildRecipe(m *amr.Mesh, layout Layout, curveName string) (*Recipe, error) {
+	b, err := newBuilder(m, curveName)
+	if err != nil {
+		return nil, err
+	}
+	switch layout {
+	case LevelOrder:
+		b.buildLevelOrder()
+	case SFCWithinLevel:
+		b.buildSFCWithinLevel()
+	case ZMesh:
+		b.buildZMeshCells()
+	case ZMeshBlock:
+		b.buildZMeshBlocks()
+	default:
+		return nil, fmt.Errorf("core: unknown layout %v", layout)
+	}
+	n := m.NumBlocks() * m.CellsPerBlock()
+	if len(b.perm) != n {
+		return nil, fmt.Errorf("core: traversal emitted %d of %d cells", len(b.perm), n)
+	}
+	return &Recipe{layout: layout, curve: curveName, n: n, perm: b.perm}, nil
+}
+
+// RecipeFromStructure rebuilds the recipe from serialized AMR tree metadata
+// (amr.Mesh.Structure). This is the decompression path: the permutation is
+// reconstructed from topology, never read from the compressed payload.
+func RecipeFromStructure(structure []byte, layout Layout, curveName string) (*Recipe, error) {
+	m, err := amr.MeshFromStructure(structure)
+	if err != nil {
+		return nil, err
+	}
+	return BuildRecipe(m, layout, curveName)
+}
+
+// buildLevelOrder emits the identity permutation (useful as a uniform code
+// path for the baseline).
+func (b *builder) buildLevelOrder() {
+	n := int32(b.m.NumBlocks() * b.cpb)
+	for p := int32(0); p < n; p++ {
+		b.perm = append(b.perm, p)
+	}
+}
+
+// buildSFCWithinLevel orders each level's cells by the curve index of their
+// global cell coordinates, levels kept separate.
+func (b *builder) buildSFCWithinLevel() {
+	m := b.m
+	for level := 0; level <= m.MaxLevel(); level++ {
+		cellDims := m.LevelCellDims(level)
+		maxDim := cellDims[0]
+		for d := 1; d < m.Dims(); d++ {
+			if cellDims[d] > maxDim {
+				maxDim = cellDims[d]
+			}
+		}
+		cbits := ceilLog2(maxDim)
+		if cbits == 0 {
+			cbits = 1
+		}
+		blocks := m.SortedLevel(level)
+		entries := make([]orderEntry, 0, len(blocks)*b.cpb)
+		coords := make([]uint32, m.Dims())
+		for _, id := range blocks {
+			for k := 0; k < b.kmax; k++ {
+				for j := 0; j < b.bs; j++ {
+					for i := 0; i < b.bs; i++ {
+						g := m.GlobalCellCoord(id, i, j, k)
+						coords[0], coords[1] = g[0], g[1]
+						if m.Dims() == 3 {
+							coords[2] = g[2]
+						}
+						entries = append(entries, orderEntry{
+							key: b.curve.Index(coords, cbits),
+							pos: b.cellPos(id, i, j, k),
+						})
+					}
+				}
+			}
+		}
+		sortEntries(entries)
+		for _, e := range entries {
+			b.perm = append(b.perm, e.pos)
+		}
+	}
+}
+
+// sortedRoots orders the root blocks along the curve over the root lattice.
+func (b *builder) sortedRoots() []amr.BlockID {
+	m := b.m
+	rd := m.RootDims()
+	maxRoot := rd[0]
+	for d := 1; d < m.Dims(); d++ {
+		if rd[d] > maxRoot {
+			maxRoot = rd[d]
+		}
+	}
+	rbits := ceilLog2(maxRoot)
+	if rbits == 0 {
+		rbits = 1
+	}
+	roots := m.Roots()
+	entries := make([]orderEntry, 0, len(roots))
+	coords := make([]uint32, m.Dims())
+	for _, id := range roots {
+		c := m.Block(id).Coord
+		coords[0], coords[1] = uint32(c[0]), uint32(c[1])
+		if m.Dims() == 3 {
+			coords[2] = uint32(c[2])
+		}
+		entries = append(entries, orderEntry{key: b.curve.Index(coords, rbits), pos: int32(id)})
+	}
+	sortEntries(entries)
+	out := make([]amr.BlockID, len(entries))
+	for i, e := range entries {
+		out[i] = amr.BlockID(e.pos)
+	}
+	return out
+}
+
+// buildZMeshBlocks is the block-granularity chained tree: depth-first over
+// the refinement forest, a block's cells (curve order) immediately followed
+// by its children (curve order of quadrant), recursively.
+func (b *builder) buildZMeshBlocks() {
+	cellBits := ceilLog2(b.bs)
+	if cellBits == 0 {
+		cellBits = 1
+	}
+	for _, root := range b.sortedRoots() {
+		b.emitBlockChained(root, cellBits)
+	}
+}
+
+func (b *builder) emitBlockChained(id amr.BlockID, cellBits uint) {
+	m := b.m
+	for ci := 0; ci < b.cpb; ci++ {
+		i, j, k := b.cellFromCurve(uint64(ci), cellBits)
+		b.perm = append(b.perm, b.cellPos(id, i, j, k))
+	}
+	blk := m.Block(id)
+	if blk.IsLeaf() {
+		return
+	}
+	// Children in curve order of their quadrant/octant offset.
+	nsub := 1 << uint(m.Dims())
+	for s := 0; s < nsub; s++ {
+		c := b.curve.Coords(uint64(s), 1)
+		ord := int(c[0]) | int(c[1])<<1
+		if m.Dims() == 3 {
+			ord |= int(c[2]) << 2
+		}
+		b.emitBlockChained(blk.Children[ord], cellBits)
+	}
+}
+
+// buildZMeshCells performs the chained-tree traversal at cell granularity:
+// roots in curve order, and within each tree a per-cell depth-first descent
+// that emits a coarse cell immediately before the 2^dims finer cells
+// covering the same region, sub-cells visited in curve order.
+func (b *builder) buildZMeshCells() {
+	cellBits := ceilLog2(b.bs)
+	if cellBits == 0 {
+		cellBits = 1
+	}
+	for _, root := range b.sortedRoots() {
+		// Visit the root block's cells in curve order, descending at each.
+		for ci := 0; ci < b.cpb; ci++ {
+			i, j, k := b.cellFromCurve(uint64(ci), cellBits)
+			g := b.m.GlobalCellCoord(root, i, j, k)
+			b.emitCell(0, g, root, i, j, k)
+		}
+	}
+}
+
+// cellFromCurve maps a curve index within a block to cell coordinates.
+func (b *builder) cellFromCurve(idx uint64, cellBits uint) (i, j, k int) {
+	c := b.curve.Coords(idx, cellBits)
+	i, j = int(c[0]), int(c[1])
+	if b.m.Dims() == 3 {
+		k = int(c[2])
+	}
+	return
+}
+
+// emitCell appends the cell at (level, global coord g) — stored in block id
+// at (i,j,k) — and then recursively emits the 2^dims cells of the next
+// level covering the same region, in curve order, if that region is refined.
+func (b *builder) emitCell(level int, g [3]uint32, id amr.BlockID, i, j, k int) {
+	b.perm = append(b.perm, b.cellPos(id, i, j, k))
+	// The refining cells live at level+1, coordinates 2g .. 2g+1. They exist
+	// iff the child block covering them exists.
+	m := b.m
+	fine := [3]uint32{g[0] * 2, g[1] * 2, g[2] * 2}
+	bs := b.bs
+	// Child block coordinate for the first fine cell.
+	bc := [3]int{int(fine[0]) / bs, int(fine[1]) / bs, int(fine[2]) / bs}
+	if m.Dims() == 2 {
+		bc[2] = 0
+	}
+	cid, ok := m.Lookup(level+1, bc)
+	if !ok {
+		return
+	}
+	// All four/eight fine cells lie in the same child block because block
+	// sizes are even: a coarse cell's 2x2(x2) refinement never straddles a
+	// block boundary.
+	subBits := uint(1)
+	nsub := 1 << uint(m.Dims())
+	for s := 0; s < nsub; s++ {
+		c := b.curve.Coords(uint64(s), subBits)
+		fi := int(fine[0]) + int(c[0])
+		fj := int(fine[1]) + int(c[1])
+		fk := 0
+		if m.Dims() == 3 {
+			fk = int(fine[2]) + int(c[2])
+		}
+		gg := [3]uint32{uint32(fi), uint32(fj), uint32(fk)}
+		b.emitCell(level+1, gg, cid, fi%bs, fj%bs, fk%bs)
+	}
+}
+
+// orderEntry pairs a curve key with a stream position for sorting.
+type orderEntry struct {
+	key uint64
+	pos int32
+}
+
+// sortEntries orders by key ascending with a pos tie-break, so equal curve
+// indices (which cannot occur within one level, but keep it total) resolve
+// deterministically.
+func sortEntries(entries []orderEntry) {
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].key != entries[b].key {
+			return entries[a].key < entries[b].key
+		}
+		return entries[a].pos < entries[b].pos
+	})
+}

@@ -1,0 +1,130 @@
+// Package dataset persists AMR checkpoints and compressed archives on disk.
+// Checkpoints use the application's native representation — per-level arrays
+// plus the tree metadata blob — mirroring what an AMR code writes; archives
+// hold compressed field payloads plus the same tree metadata, and nothing
+// else (no permutations, per the zMesh design).
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/amr"
+)
+
+// FieldData is one quantity serialized level-by-level.
+type FieldData struct {
+	Name   string
+	Levels [][]float64
+}
+
+// CheckpointFile is the on-disk form of an AMR checkpoint.
+type CheckpointFile struct {
+	Problem   string
+	Structure []byte // amr.Mesh.Structure()
+	Fields    []FieldData
+}
+
+// CompressedField is one compressed quantity inside an archive.
+type CompressedField struct {
+	Name      string
+	Layout    string
+	Curve     string
+	Codec     string
+	BoundMode string
+	BoundVal  float64
+	NumValues int
+	Payload   []byte
+}
+
+// ArchiveFile is the on-disk form of a compressed checkpoint. Note that the
+// only layout metadata is the AMR tree structure the application stores
+// anyway — restore recipes are rebuilt from it.
+type ArchiveFile struct {
+	Problem   string
+	Structure []byte
+	Fields    []CompressedField
+}
+
+// FromFields builds a CheckpointFile from live mesh fields.
+func FromFields(problem string, m *amr.Mesh, fields []*amr.Field) *CheckpointFile {
+	ck := &CheckpointFile{Problem: problem, Structure: m.Structure()}
+	for _, f := range fields {
+		ck.Fields = append(ck.Fields, FieldData{Name: f.Name, Levels: amr.LevelArrays(f)})
+	}
+	return ck
+}
+
+// Mesh rebuilds the checkpoint's mesh topology.
+func (c *CheckpointFile) Mesh() (*amr.Mesh, error) {
+	return amr.MeshFromStructure(c.Structure)
+}
+
+// Field returns the named quantity's level arrays.
+func (c *CheckpointFile) Field(name string) (*FieldData, bool) {
+	for i := range c.Fields {
+		if c.Fields[i].Name == name {
+			return &c.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// SaveCheckpoint writes a checkpoint with gob encoding.
+func SaveCheckpoint(path string, ck *CheckpointFile) error {
+	return save(path, ck)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*CheckpointFile, error) {
+	var ck CheckpointFile
+	if err := load(path, &ck); err != nil {
+		return nil, err
+	}
+	if len(ck.Structure) == 0 {
+		return nil, fmt.Errorf("dataset: %s: not a checkpoint file", path)
+	}
+	return &ck, nil
+}
+
+// SaveArchive writes a compressed archive.
+func SaveArchive(path string, a *ArchiveFile) error {
+	return save(path, a)
+}
+
+// LoadArchive reads an archive written by SaveArchive.
+func LoadArchive(path string) (*ArchiveFile, error) {
+	var a ArchiveFile
+	if err := load(path, &a); err != nil {
+		return nil, err
+	}
+	if len(a.Structure) == 0 {
+		return nil, fmt.Errorf("dataset: %s: not an archive file", path)
+	}
+	return &a, nil
+}
+
+func save(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		return fmt.Errorf("dataset: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func load(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	return nil
+}

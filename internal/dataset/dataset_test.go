@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/amr"
+)
+
+func testCheckpoint(t *testing.T) (*CheckpointFile, *amr.Mesh) {
+	t.Helper()
+	m, f, err := amr.BuildAdaptive(amr.BuildOptions{
+		Dims: 2, BlockSize: 8, RootDims: [3]int{2, 2, 1},
+		MaxDepth: 2, Threshold: 0.4,
+	}, func(x, y, z float64) float64 { return math.Tanh((x - 0.5) / 0.05) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Name = "dens"
+	g := amr.SampleField(m, "pres", func(x, y, z float64) float64 { return x * y })
+	return FromFields("test", m, []*amr.Field{f, g}), m
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck, m := testCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "a.ckpt")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Problem != "test" || len(got.Fields) != 2 {
+		t.Fatalf("loaded %q with %d fields", got.Problem, len(got.Fields))
+	}
+	m2, err := got.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !amr.SameTopology(m, m2) {
+		t.Fatal("topology mismatch after round trip")
+	}
+	fd, ok := got.Field("dens")
+	if !ok {
+		t.Fatal("dens missing")
+	}
+	if len(fd.Levels) != m.MaxLevel()+1 {
+		t.Fatalf("%d level arrays", len(fd.Levels))
+	}
+	orig, _ := ck.Field("dens")
+	for l := range orig.Levels {
+		for i := range orig.Levels[l] {
+			if fd.Levels[l][i] != orig.Levels[l][i] {
+				t.Fatalf("level %d cell %d mismatch", l, i)
+			}
+		}
+	}
+	if _, ok := got.Field("nope"); ok {
+		t.Fatal("bogus field found")
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	_, m := testCheckpoint(t)
+	a := &ArchiveFile{
+		Problem:   "test",
+		Structure: m.Structure(),
+		Fields: []CompressedField{{
+			Name: "dens", Layout: "zmesh", Curve: "hilbert", Codec: "sz",
+			BoundMode: "rel", BoundVal: 1e-4, NumValues: 1000,
+			Payload: []byte{1, 2, 3},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "a.zm")
+	if err := SaveArchive(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != 1 || got.Fields[0].Codec != "sz" || got.Fields[0].NumValues != 1000 {
+		t.Fatalf("archive fields %+v", got.Fields)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// An archive is not a checkpoint and vice versa: empty Structure guards.
+	path := filepath.Join(t.TempDir(), "bad")
+	if err := save(path, &CheckpointFile{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("structureless checkpoint accepted")
+	}
+	if err := save(path, &ArchiveFile{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArchive(path); err == nil {
+		t.Fatal("structureless archive accepted")
+	}
+}

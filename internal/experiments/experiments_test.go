@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickSuite() *Suite { return NewSuite(QuickConfig()) }
+
+func TestAllExperimentsRun(t *testing.T) {
+	s := quickSuite()
+	for _, id := range ExperimentIDs() {
+		tbl, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+		out := tbl.String()
+		if !strings.Contains(out, tbl.Title) {
+			t.Fatalf("%s: render missing title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := quickSuite().Run("X99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestCheckpointCaching(t *testing.T) {
+	s := quickSuite()
+	a, err := s.Checkpoint("sedov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Checkpoint("sedov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("checkpoint not cached")
+	}
+}
+
+func TestErrorComplianceHolds(t *testing.T) {
+	s := quickSuite()
+	tbl, err := s.ErrorCompliance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: dataset, codec, layout, bound, maxerr/bound, restore exact.
+	for _, row := range tbl.Rows {
+		var ratio float64
+		if _, err := fmtSscan(row[4], &ratio); err != nil {
+			t.Fatalf("unparsable ratio %q", row[4])
+		}
+		if ratio > 1.0 {
+			t.Fatalf("bound violated: %v", row)
+		}
+		if row[5] != "true" {
+			t.Fatalf("restore not exact: %v", row)
+		}
+	}
+}
+
+func TestSmoothnessTablePositiveForZMesh(t *testing.T) {
+	// On the quick (sedov) config, zMesh/hilbert must improve smoothness.
+	s := quickSuite()
+	tbl, err := s.Smoothness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, h := range tbl.Header {
+		if strings.HasPrefix(h, "zmesh/hilbert") {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("zmesh/hilbert column missing: %v", tbl.Header)
+	}
+	for _, row := range tbl.Rows {
+		var imp float64
+		if _, err := fmtSscan(row[col], &imp); err != nil {
+			t.Fatalf("unparsable improvement %q", row[col])
+		}
+		if imp <= 0 {
+			t.Fatalf("no smoothness improvement: %v", row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"wide-cell-content", "x"}},
+		Notes:  []string{"a note"},
+	}
+	out := tbl.String()
+	for _, want := range []string{"demo", "long-header", "wide-cell-content", "a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fmtSscan parses a float that may carry a leading sign.
+func fmtSscan(s string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}

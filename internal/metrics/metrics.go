@@ -1,0 +1,150 @@
+// Package metrics provides the data-quality and smoothness measures the
+// evaluation reports: total-variation smoothness (the quantity zMesh
+// improves), PSNR/NRMSE distortion of reconstructions, point-wise error
+// compliance, and lag-1 autocorrelation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// TotalVariation sums |x[i+1] - x[i]| over the stream. Lower means
+// smoother; this is the first-order smoothness measure the paper's
+// reordering targets (prediction-based compressors code exactly these
+// first differences).
+func TotalVariation(x []float64) float64 {
+	tv := 0.0
+	for i := 1; i < len(x); i++ {
+		tv += math.Abs(x[i] - x[i-1])
+	}
+	return tv
+}
+
+// MeanAbsDiff is TotalVariation normalized per transition, comparable
+// across streams of different lengths.
+func MeanAbsDiff(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	return TotalVariation(x) / float64(len(x)-1)
+}
+
+// SmoothnessImprovement reports the relative reduction of total variation
+// of the reordered stream vs the baseline stream, in percent (the form the
+// paper quotes: 67.9% / 71.3%).
+func SmoothnessImprovement(baseline, reordered []float64) float64 {
+	tb := TotalVariation(baseline)
+	if tb == 0 {
+		return 0
+	}
+	return 100 * (tb - TotalVariation(reordered)) / tb
+}
+
+// MaxAbsError reports the largest point-wise |a[i]-b[i]|.
+func MaxAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(a), len(b))
+	}
+	m := 0.0
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m, nil
+}
+
+// Range reports max - min of the data.
+func Range(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// RMSE is the root-mean-square error between original and reconstruction.
+func RMSE(orig, recon []float64) (float64, error) {
+	if len(orig) != len(recon) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(orig), len(recon))
+	}
+	if len(orig) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range orig {
+		d := orig[i] - recon[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(orig))), nil
+}
+
+// NRMSE is RMSE normalized by the original's value range.
+func NRMSE(orig, recon []float64) (float64, error) {
+	r, err := RMSE(orig, recon)
+	if err != nil {
+		return 0, err
+	}
+	rng := Range(orig)
+	if rng == 0 {
+		return 0, nil
+	}
+	return r / rng, nil
+}
+
+// PSNR reports the peak signal-to-noise ratio in dB, with the original's
+// value range as peak (the convention used by SZ/ZFP evaluations).
+// Identical arrays yield +Inf.
+func PSNR(orig, recon []float64) (float64, error) {
+	n, err := NRMSE(orig, recon)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return math.Inf(1), nil
+	}
+	return -20 * math.Log10(n), nil
+}
+
+// AutoCorr1 is the lag-1 sample autocorrelation, a second view of stream
+// smoothness (smooth streams are highly autocorrelated).
+func AutoCorr1(x []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := x[i] - mean
+		den += d * d
+		if i > 0 {
+			num += d * (x[i-1] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BitsPerValue reports the coded size in bits per value.
+func BitsPerValue(numValues, compressedBytes int) float64 {
+	if numValues == 0 {
+		return 0
+	}
+	return 8 * float64(compressedBytes) / float64(numValues)
+}

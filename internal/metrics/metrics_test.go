@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTotalVariation(t *testing.T) {
+	if tv := TotalVariation([]float64{1, 1, 1}); tv != 0 {
+		t.Fatalf("constant TV = %v", tv)
+	}
+	if tv := TotalVariation([]float64{0, 1, 0, 1}); tv != 3 {
+		t.Fatalf("sawtooth TV = %v, want 3", tv)
+	}
+	if tv := TotalVariation([]float64{5}); tv != 0 {
+		t.Fatalf("single TV = %v", tv)
+	}
+	if tv := TotalVariation(nil); tv != 0 {
+		t.Fatalf("nil TV = %v", tv)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	if m := MeanAbsDiff([]float64{0, 2, 0}); m != 2 {
+		t.Fatalf("mean abs diff = %v, want 2", m)
+	}
+	if m := MeanAbsDiff([]float64{7}); m != 0 {
+		t.Fatalf("short mean abs diff = %v", m)
+	}
+}
+
+func TestSmoothnessImprovement(t *testing.T) {
+	base := []float64{0, 1, 0, 1, 0} // TV 4
+	re := []float64{0, 0, 1, 1, 0}   // TV 2
+	if got := SmoothnessImprovement(base, re); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("improvement = %v, want 50", got)
+	}
+	if got := SmoothnessImprovement([]float64{1, 1}, re); got != 0 {
+		t.Fatalf("zero-TV baseline improvement = %v", got)
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	e, err := MaxAbsError([]float64{1, 2, 3}, []float64{1, 2.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 {
+		t.Fatalf("max error = %v, want 1", e)
+	}
+	if _, err := MaxAbsError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRange(t *testing.T) {
+	if r := Range([]float64{-3, 0, 7}); r != 10 {
+		t.Fatalf("range = %v", r)
+	}
+	if r := Range(nil); r != 0 {
+		t.Fatalf("nil range = %v", r)
+	}
+}
+
+func TestRMSEAndNRMSE(t *testing.T) {
+	orig := []float64{0, 0, 0, 0}
+	recon := []float64{1, -1, 1, -1}
+	r, err := RMSE(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("RMSE = %v, want 1", r)
+	}
+	// NRMSE of constant original is defined as 0 (no range).
+	n, err := NRMSE(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("NRMSE = %v", n)
+	}
+	orig2 := []float64{0, 10}
+	recon2 := []float64{1, 9}
+	n2, err := NRMSE(orig2, recon2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2-0.1) > 1e-12 {
+		t.Fatalf("NRMSE = %v, want 0.1", n2)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	orig := []float64{0, 10}
+	p, err := PSNR(orig, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Fatalf("identical PSNR = %v", p)
+	}
+	p, err = PSNR(orig, []float64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-20) > 1e-9 { // NRMSE 0.1 -> 20 dB
+		t.Fatalf("PSNR = %v, want 20", p)
+	}
+}
+
+func TestAutoCorr1(t *testing.T) {
+	// Slowly varying ramp-ish signal: high positive autocorrelation.
+	smooth := make([]float64, 1000)
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i) / 100)
+	}
+	if ac := AutoCorr1(smooth); ac < 0.99 {
+		t.Fatalf("smooth autocorr = %v", ac)
+	}
+	// Alternating signal: strongly negative.
+	alt := make([]float64, 1000)
+	for i := range alt {
+		alt[i] = float64(i%2*2 - 1)
+	}
+	if ac := AutoCorr1(alt); ac > -0.99 {
+		t.Fatalf("alternating autocorr = %v", ac)
+	}
+	if ac := AutoCorr1([]float64{3, 3, 3}); ac != 0 {
+		t.Fatalf("constant autocorr = %v", ac)
+	}
+	if ac := AutoCorr1([]float64{1}); ac != 0 {
+		t.Fatalf("single autocorr = %v", ac)
+	}
+}
+
+func TestBitsPerValue(t *testing.T) {
+	if b := BitsPerValue(100, 100); b != 8 {
+		t.Fatalf("bits per value = %v", b)
+	}
+	if b := BitsPerValue(0, 100); b != 0 {
+		t.Fatalf("zero values = %v", b)
+	}
+}
+
+// property: TV is invariant under sign flip and shifts; sorting minimizes it.
+func TestTVPropertiesQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, v := range xs {
+			// Skip degenerate quick inputs: non-finite values, and
+			// magnitudes where differences overflow float64.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		tv := TotalVariation(xs)
+		neg := make([]float64, len(xs))
+		shift := make([]float64, len(xs))
+		for i, v := range xs {
+			neg[i] = -v
+			shift[i] = v + 42
+		}
+		if math.Abs(TotalVariation(neg)-tv) > 1e-9*(1+tv) {
+			return false
+		}
+		if math.Abs(TotalVariation(shift)-tv) > 1e-9*(1+tv) {
+			return false
+		}
+		// TV >= |max-min| always.
+		return tv >= Range(xs)-1e-12*(1+tv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package render rasterizes 2-D AMR fields to images: each pixel samples
+// the finest leaf block covering its location, with an optional overlay of
+// leaf-block boundaries that makes the refinement pattern visible. Used by
+// `zmesh render` to inspect datasets.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"repro/internal/amr"
+)
+
+// Options configures Field.
+type Options struct {
+	// Width is the output width in pixels; height follows the domain's
+	// aspect ratio (unit square → equal). Default 512.
+	Width int
+	// ShowBlocks overlays leaf-block boundaries.
+	ShowBlocks bool
+	// Log maps values through log10(|v|) before the colour ramp — useful
+	// for pressure-like fields spanning decades.
+	Log bool
+}
+
+// colormap is a small perceptually-ordered ramp (dark blue → cyan →
+// yellow), anchored like the common "viridis-ish" maps.
+var anchors = []struct {
+	t       float64
+	r, g, b uint8
+}{
+	{0.00, 68, 1, 84},
+	{0.25, 59, 82, 139},
+	{0.50, 33, 145, 140},
+	{0.75, 94, 201, 98},
+	{1.00, 253, 231, 37},
+}
+
+// ramp maps t in [0,1] to a colour.
+func ramp(t float64) color.RGBA {
+	if t <= 0 {
+		a := anchors[0]
+		return color.RGBA{a.r, a.g, a.b, 255}
+	}
+	if t >= 1 {
+		a := anchors[len(anchors)-1]
+		return color.RGBA{a.r, a.g, a.b, 255}
+	}
+	for i := 1; i < len(anchors); i++ {
+		if t <= anchors[i].t {
+			lo, hi := anchors[i-1], anchors[i]
+			f := (t - lo.t) / (hi.t - lo.t)
+			lerp := func(a, b uint8) uint8 {
+				return uint8(float64(a) + f*(float64(b)-float64(a)))
+			}
+			return color.RGBA{lerp(lo.r, hi.r), lerp(lo.g, hi.g), lerp(lo.b, hi.b), 255}
+		}
+	}
+	a := anchors[len(anchors)-1]
+	return color.RGBA{a.r, a.g, a.b, 255}
+}
+
+// leafAt finds the leaf block and cell covering physical point (x, y).
+func leafAt(m *amr.Mesh, x, y float64) (amr.BlockID, int, int) {
+	bs := m.BlockSize()
+	for level := m.MaxLevel(); level >= 0; level-- {
+		cd := m.LevelCellDims(level)
+		ci := int(x * float64(cd[0]))
+		cj := int(y * float64(cd[1]))
+		if ci >= cd[0] {
+			ci = cd[0] - 1
+		}
+		if cj >= cd[1] {
+			cj = cd[1] - 1
+		}
+		if id, ok := m.Lookup(level, [3]int{ci / bs, cj / bs, 0}); ok {
+			return id, ci % bs, cj % bs
+		}
+	}
+	panic("render: unreachable — level 0 covers the domain")
+}
+
+// Field rasterizes a 2-D field.
+func Field(f *amr.Field, opt Options) (*image.RGBA, error) {
+	m := f.Mesh()
+	if m.Dims() != 2 {
+		return nil, fmt.Errorf("render: only 2-D fields supported")
+	}
+	w := opt.Width
+	if w <= 0 {
+		w = 512
+	}
+	h := w
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+
+	// Value range for normalization.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	transform := func(v float64) float64 {
+		if opt.Log {
+			return math.Log10(math.Abs(v) + 1e-30)
+		}
+		return v
+	}
+	for id := 0; id < m.NumBlocks(); id++ {
+		if !m.Block(amr.BlockID(id)).IsLeaf() {
+			continue
+		}
+		for _, v := range f.Data(amr.BlockID(id)) {
+			tv := transform(v)
+			if tv < lo {
+				lo = tv
+			}
+			if tv > hi {
+				hi = tv
+			}
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+
+	bs := m.BlockSize()
+	for py := 0; py < h; py++ {
+		// Image y grows downward; domain y grows upward.
+		y := (float64(h-1-py) + 0.5) / float64(h)
+		for px := 0; px < w; px++ {
+			x := (float64(px) + 0.5) / float64(w)
+			id, ci, cj := leafAt(m, x, y)
+			v := transform(f.At(id, ci, cj, 0))
+			c := ramp((v - lo) / span)
+			if opt.ShowBlocks {
+				// On a leaf-block boundary? Compare the leaf at the pixel
+				// against neighbours one pixel away.
+				idR, _, _ := leafAt(m, math.Min(x+1.0/float64(w), 0.999999), y)
+				idD, _, _ := leafAt(m, x, math.Min(y+1.0/float64(h), 0.999999))
+				if idR != id || idD != id {
+					c = color.RGBA{0, 0, 0, 255}
+				}
+			}
+			img.SetRGBA(px, py, c)
+		}
+	}
+	_ = bs
+	return img, nil
+}
+
+// LevelMap rasterizes the refinement level of the leaf covering each pixel
+// (brighter = finer), a direct picture of the AMR structure.
+func LevelMap(m *amr.Mesh, width int) (*image.RGBA, error) {
+	if m.Dims() != 2 {
+		return nil, fmt.Errorf("render: only 2-D meshes supported")
+	}
+	if width <= 0 {
+		width = 512
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, width))
+	maxLevel := float64(m.MaxLevel())
+	if maxLevel == 0 {
+		maxLevel = 1
+	}
+	for py := 0; py < width; py++ {
+		y := (float64(width-1-py) + 0.5) / float64(width)
+		for px := 0; px < width; px++ {
+			x := (float64(px) + 0.5) / float64(width)
+			id, _, _ := leafAt(m, x, y)
+			t := float64(m.Block(id).Level) / maxLevel
+			img.SetRGBA(px, py, ramp(t))
+		}
+	}
+	return img, nil
+}

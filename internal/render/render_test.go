@@ -1,0 +1,156 @@
+package render
+
+import (
+	"image/color"
+	"math"
+	"testing"
+
+	"repro/internal/amr"
+)
+
+func testField(t *testing.T) *amr.Field {
+	t.Helper()
+	_, f, err := amr.BuildAdaptive(amr.BuildOptions{
+		Dims: 2, BlockSize: 8, RootDims: [3]int{2, 2, 1},
+		MaxDepth: 2, Threshold: 0.4,
+	}, func(x, y, z float64) float64 {
+		return math.Tanh((x - 0.5) / 0.03)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRampEndpoints(t *testing.T) {
+	lo := ramp(0)
+	hi := ramp(1)
+	if lo == hi {
+		t.Fatal("ramp endpoints identical")
+	}
+	if c := ramp(-0.5); c != lo {
+		t.Fatal("below-range not clamped")
+	}
+	if c := ramp(1.5); c != hi {
+		t.Fatal("above-range not clamped")
+	}
+	// Monotone-ish: midpoint differs from both ends.
+	mid := ramp(0.5)
+	if mid == lo || mid == hi {
+		t.Fatal("midpoint collapsed")
+	}
+}
+
+func TestFieldImage(t *testing.T) {
+	f := testField(t)
+	img, err := Field(f, Options{Width: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 64 || b.Dy() != 64 {
+		t.Fatalf("bounds %v", b)
+	}
+	// The tanh front means left and right halves have different colours.
+	left := img.RGBAAt(4, 32)
+	right := img.RGBAAt(60, 32)
+	if left == right {
+		t.Fatal("front not visible in render")
+	}
+	// All pixels opaque.
+	for y := 0; y < 64; y += 7 {
+		for x := 0; x < 64; x += 7 {
+			if img.RGBAAt(x, y).A != 255 {
+				t.Fatalf("transparent pixel at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestFieldImageBlocksOverlay(t *testing.T) {
+	f := testField(t)
+	plain, err := Field(f, Options{Width: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlaid, err := Field(f, Options{Width: 64, ShowBlocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	black := color.RGBA{0, 0, 0, 255}
+	countBlack := func(img interface {
+		RGBAAt(x, y int) color.RGBA
+	}) int {
+		n := 0
+		for y := 0; y < 64; y++ {
+			for x := 0; x < 64; x++ {
+				if img.RGBAAt(x, y) == black {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countBlack(overlaid) <= countBlack(plain) {
+		t.Fatal("block overlay drew nothing")
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	f := testField(t)
+	if _, err := Field(f, Options{Width: 32, Log: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	m, err := amr.NewMesh(2, 8, [3]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := amr.NewField(m, "c")
+	f.FillFunc(func(x, y, z float64) float64 { return 5 })
+	img, err := Field(f, Options{Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant data must not divide by zero; all pixels share one colour.
+	c0 := img.RGBAAt(0, 0)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if img.RGBAAt(x, y) != c0 {
+				t.Fatal("constant field rendered non-uniformly")
+			}
+		}
+	}
+}
+
+func TestLevelMap(t *testing.T) {
+	f := testField(t)
+	m := f.Mesh()
+	img, err := LevelMap(m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refined strip near x=0.5 must differ in colour from the coarse
+	// corner.
+	centre := img.RGBAAt(32, 32)
+	corner := img.RGBAAt(2, 2)
+	if centre == corner {
+		t.Fatal("level map shows no refinement contrast")
+	}
+}
+
+func Test3DRejected(t *testing.T) {
+	m, err := amr.NewMesh(3, 4, [3]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := amr.NewField(m, "q")
+	if _, err := Field(f, Options{}); err == nil {
+		t.Fatal("3-D field accepted")
+	}
+	if _, err := LevelMap(m, 32); err == nil {
+		t.Fatal("3-D mesh accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/amr"
+)
+
+// AdvectionDiffusion evolves a scalar u on the AMR hierarchy itself (2-D or
+// 3-D, periodic domain): u_t + a·∇u = ν ∆u, first-order upwind advection
+// and central diffusion on leaf blocks, explicit Euler in time with a
+// global time step set by the finest level. Ghost cells at coarse–fine
+// interfaces are filled by same-level copy where a same-level neighbour
+// exists and by piecewise-constant prolongation from the first coarser
+// ancestor otherwise; interior (refined) blocks hold restricted data, so
+// coarse neighbours are always valid donors. Combined with
+// refine-on-gradient regridding this is a miniature but genuine AMR solver,
+// used to produce time-evolving hierarchies whose refinement tracks the
+// solution. Refinement is monotone within a run (no coarsening), a
+// deliberate substrate constraint.
+type AdvectionDiffusion struct {
+	Mesh  *amr.Mesh
+	U     *amr.Field
+	Ax    float64 // advection velocity x
+	Ay    float64 // advection velocity y
+	Az    float64 // advection velocity z (3-D only)
+	Nu    float64 // diffusivity
+	CFL   float64 // stability factor in (0, 1]; default 0.4
+	Time  float64
+	Steps int
+
+	scratch map[amr.BlockID][]float64 // per-block next-step buffers
+}
+
+// NewAdvectionDiffusion wraps an existing mesh/field pair.
+func NewAdvectionDiffusion(m *amr.Mesh, u *amr.Field, ax, ay, nu float64) (*AdvectionDiffusion, error) {
+	return &AdvectionDiffusion{
+		Mesh: m, U: u, Ax: ax, Ay: ay, Nu: nu, CFL: 0.4,
+		scratch: make(map[amr.BlockID][]float64),
+	}, nil
+}
+
+// sample reads the solution at (level, global cell coords), walking to
+// coarser ancestors when the requested level does not cover the location.
+// Coordinates wrap periodically at each level's lattice extent.
+func (s *AdvectionDiffusion) sample(level, gi, gj, gk int) float64 {
+	m := s.Mesh
+	bs := m.BlockSize()
+	if m.Dims() == 2 {
+		gk = 0
+	}
+	for l := level; l >= 0; l-- {
+		dims := m.LevelCellDims(l)
+		i := ((gi % dims[0]) + dims[0]) % dims[0]
+		j := ((gj % dims[1]) + dims[1]) % dims[1]
+		k := 0
+		bk := 0
+		if m.Dims() == 3 {
+			k = ((gk % dims[2]) + dims[2]) % dims[2]
+			bk = k / bs
+		}
+		if id, ok := m.Lookup(l, [3]int{i / bs, j / bs, bk}); ok {
+			return s.U.At(id, i%bs, j%bs, k%bs)
+		}
+		gi >>= 1
+		gj >>= 1
+		gk >>= 1
+	}
+	panic("sim: unreachable — level 0 covers the domain")
+}
+
+// dt computes the stable global step from the finest level present.
+func (s *AdvectionDiffusion) dt() float64 {
+	h := s.Mesh.CellExtent(s.Mesh.MaxLevel(), 0)
+	adv := math.Inf(1)
+	if v := math.Abs(s.Ax) + math.Abs(s.Ay) + math.Abs(s.Az); v > 0 {
+		adv = h / v
+	}
+	diff := math.Inf(1)
+	if s.Nu > 0 {
+		// Explicit stability limit h² / (2·dims·ν).
+		diff = h * h / (2 * float64(s.Mesh.Dims()) * s.Nu)
+	}
+	cfl := s.CFL
+	if cfl <= 0 {
+		cfl = 0.4
+	}
+	d := cfl * math.Min(adv, diff)
+	if math.IsInf(d, 0) {
+		return 0
+	}
+	return d
+}
+
+// upwind computes the upwind first derivative given the stencil values and
+// the advection speed along the axis.
+func upwind(a, uMinus, u, uPlus, h float64) float64 {
+	if a >= 0 {
+		return (u - uMinus) / h
+	}
+	return (uPlus - u) / h
+}
+
+// Step advances one explicit Euler step on all leaves; returns dt.
+func (s *AdvectionDiffusion) Step() (float64, error) {
+	dt := s.dt()
+	if dt <= 0 {
+		return 0, fmt.Errorf("sim: zero stable time step (no dynamics configured)")
+	}
+	m := s.Mesh
+	bs := m.BlockSize()
+	threeD := m.Dims() == 3
+	kmax := 1
+	if threeD {
+		kmax = bs
+	}
+	s.U.Sync()
+	leaves := m.Leaves()
+	for _, id := range leaves {
+		b := m.Block(id)
+		h := m.CellExtent(b.Level, 0)
+		buf := s.scratch[id]
+		if len(buf) < m.CellsPerBlock() {
+			buf = make([]float64, m.CellsPerBlock())
+			s.scratch[id] = buf
+		}
+		ox := b.Coord[0] * bs
+		oy := b.Coord[1] * bs
+		oz := b.Coord[2] * bs
+		for k := 0; k < kmax; k++ {
+			for j := 0; j < bs; j++ {
+				for i := 0; i < bs; i++ {
+					u := s.U.At(id, i, j, k)
+					uw := s.sample(b.Level, ox+i-1, oy+j, oz+k)
+					ue := s.sample(b.Level, ox+i+1, oy+j, oz+k)
+					us := s.sample(b.Level, ox+i, oy+j-1, oz+k)
+					un := s.sample(b.Level, ox+i, oy+j+1, oz+k)
+					adv := s.Ax*upwind(s.Ax, uw, u, ue, h) +
+						s.Ay*upwind(s.Ay, us, u, un, h)
+					lap := uw + ue + us + un - 4*u
+					if threeD {
+						ub := s.sample(b.Level, ox+i, oy+j, oz+k-1)
+						ut := s.sample(b.Level, ox+i, oy+j, oz+k+1)
+						adv += s.Az * upwind(s.Az, ub, u, ut, h)
+						lap += ub + ut - 2*u
+					}
+					lap /= h * h
+					idx := (j*bs + i)
+					if threeD {
+						idx = (k*bs+j)*bs + i
+					}
+					buf[idx] = u + dt*(-adv+s.Nu*lap)
+				}
+			}
+		}
+	}
+	// Commit and refresh parents.
+	for _, id := range leaves {
+		copy(s.U.Data(id), s.scratch[id])
+	}
+	s.U.Restrict()
+	s.Time += dt
+	s.Steps++
+	return dt, nil
+}
+
+// Regrid refines leaves whose Löhner indicator exceeds threshold (up to
+// maxDepth), prolongating the solution onto new children. Refinement is
+// monotone (no coarsening), as in refine-only AMR drivers.
+func (s *AdvectionDiffusion) Regrid(threshold float64, maxDepth int) error {
+	m := s.Mesh
+	scale := s.U.MaxAbs()
+	for _, id := range m.Leaves() {
+		if m.Block(id).Level >= maxDepth {
+			continue
+		}
+		if amr.LohnerIndicator(s.U, id, 0.01, scale) <= threshold {
+			continue
+		}
+		before := m.NumBlocks()
+		if err := m.Refine(id); err != nil {
+			return err
+		}
+		s.U.Sync()
+		// Prolong data onto every block created by this refinement
+		// (balance enforcement may have created additional families).
+		for nb := before; nb < m.NumBlocks(); nb++ {
+			s.U.Prolong(amr.BlockID(nb))
+		}
+	}
+	return nil
+}
+
+// Run advances to tEnd, regridding every regridEvery steps (0 disables).
+func (s *AdvectionDiffusion) Run(tEnd float64, regridEvery int, threshold float64, maxDepth int) error {
+	const maxSteps = 500000
+	for s.Time < tEnd {
+		if regridEvery > 0 && s.Steps%regridEvery == 0 {
+			if err := s.Regrid(threshold, maxDepth); err != nil {
+				return err
+			}
+		}
+		if _, err := s.Step(); err != nil {
+			return err
+		}
+		if s.Steps > maxSteps {
+			return fmt.Errorf("sim: exceeded %d steps before t=%g", maxSteps, tEnd)
+		}
+	}
+	return nil
+}
+
+// TotalMass integrates u over the domain (leaf cells weighted by volume).
+func (s *AdvectionDiffusion) TotalMass() float64 {
+	m := s.Mesh
+	bs := m.BlockSize()
+	kmax := 1
+	if m.Dims() == 3 {
+		kmax = bs
+	}
+	var mass float64
+	for _, id := range m.Leaves() {
+		b := m.Block(id)
+		h := m.CellExtent(b.Level, 0)
+		vol := h * h
+		if m.Dims() == 3 {
+			vol *= h
+		}
+		for k := 0; k < kmax; k++ {
+			for j := 0; j < bs; j++ {
+				for i := 0; i < bs; i++ {
+					mass += s.U.At(id, i, j, k) * vol
+				}
+			}
+		}
+	}
+	return mass
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amr"
+)
+
+func gaussian(cx, cy, w float64) func(x, y, z float64) float64 {
+	return func(x, y, z float64) float64 {
+		dx, dy := x-cx, y-cy
+		return math.Exp(-(dx*dx + dy*dy) / (2 * w * w))
+	}
+}
+
+func newSolver(t *testing.T, ax, ay, nu float64) *AdvectionDiffusion {
+	t.Helper()
+	m, u, err := amr.BuildAdaptive(amr.BuildOptions{
+		Dims: 2, BlockSize: 8, RootDims: [3]int{2, 2, 1},
+		MaxDepth: 2, Threshold: 0.3,
+	}, gaussian(0.35, 0.35, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewAdvectionDiffusion(m, u, ax, ay, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func Test3DSolver(t *testing.T) {
+	m, u, err := amr.BuildAdaptive(amr.BuildOptions{
+		Dims: 3, BlockSize: 4, RootDims: [3]int{2, 2, 2},
+		MaxDepth: 1, Threshold: 0.3,
+	}, func(x, y, z float64) float64 {
+		dx, dy, dz := x-0.4, y-0.4, z-0.4
+		return math.Exp(-(dx*dx + dy*dy + dz*dz) / (2 * 0.06 * 0.06))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewAdvectionDiffusion(m, u, 0, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.TotalMass()
+	peak0 := u.MaxAbs()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3-D diffusion decays the peak; mass conservation is approximate on a
+	// multi-level hierarchy (piecewise-constant ghosts), so allow slack.
+	if peak := u.MaxAbs(); peak >= peak0 {
+		t.Fatalf("3-D diffusion did not decay the peak: %v -> %v", peak0, peak)
+	}
+	if rel := math.Abs(s.TotalMass()-m0) / m0; rel > 0.05 {
+		t.Fatalf("3-D mass drifted by %v", rel)
+	}
+	// Advection in z moves things without blowing up.
+	s.Az = 1
+	s.Nu = 0
+	for i := 0; i < 20; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range m.Leaves() {
+		for _, v := range u.Data(id) {
+			if math.IsNaN(v) || math.Abs(v) > 10 {
+				t.Fatalf("3-D advection unstable: %v", v)
+			}
+		}
+	}
+}
+
+func TestZeroDynamicsErrors(t *testing.T) {
+	s := newSolver(t, 0, 0, 0)
+	if _, err := s.Step(); err == nil {
+		t.Fatal("zero-dynamics step must error")
+	}
+}
+
+func TestMassConservedUnderDiffusion(t *testing.T) {
+	// Pure diffusion on a periodic domain conserves total mass; on a
+	// uniform (single-level) grid the 5-point stencil conserves exactly.
+	m, err := amr.NewMesh(2, 8, [3]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := amr.NewField(m, "u")
+	u.FillFunc(gaussian(0.5, 0.5, 0.08))
+	s, err := NewAdvectionDiffusion(m, u, 0, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.TotalMass()
+	for i := 0; i < 50; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rel := math.Abs(s.TotalMass()-m0) / m0; rel > 1e-12 {
+		t.Fatalf("mass drifted by %v", rel)
+	}
+}
+
+func TestDiffusionDecaysPeak(t *testing.T) {
+	s := newSolver(t, 0, 0, 0.005)
+	peak0 := s.U.MaxAbs()
+	for i := 0; i < 100; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peak := s.U.MaxAbs(); peak >= peak0 {
+		t.Fatalf("diffusion did not decay the peak: %v -> %v", peak0, peak)
+	}
+	// Positivity: explicit diffusion within the stability bound must not
+	// produce (significant) undershoot.
+	for _, id := range s.Mesh.Leaves() {
+		for _, v := range s.U.Data(id) {
+			if v < -1e-9 {
+				t.Fatalf("undershoot %v", v)
+			}
+		}
+	}
+}
+
+func TestAdvectionMovesBlob(t *testing.T) {
+	s := newSolver(t, 1, 1, 0)
+	// Centre of mass before.
+	com := func() (float64, float64) {
+		m := s.Mesh
+		bs := m.BlockSize()
+		var sx, sy, tot float64
+		for _, id := range m.Leaves() {
+			b := m.Block(id)
+			h := m.CellExtent(b.Level, 0)
+			area := h * h
+			for j := 0; j < bs; j++ {
+				for i := 0; i < bs; i++ {
+					v := s.U.At(id, i, j, 0) * area
+					p := m.CellCenter(id, i, j, 0)
+					sx += v * p[0]
+					sy += v * p[1]
+					tot += v
+				}
+			}
+		}
+		return sx / tot, sy / tot
+	}
+	x0, y0 := com()
+	if err := s.Run(0.1, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	x1, y1 := com()
+	// Advection at (1,1) for t=0.1 moves the blob ~0.1 diagonally
+	// (upwinding smears, so allow slack).
+	if x1-x0 < 0.05 || y1-y0 < 0.05 {
+		t.Fatalf("blob barely moved: (%.3f,%.3f) -> (%.3f,%.3f)", x0, y0, x1, y1)
+	}
+}
+
+func TestRegridFollowsBlob(t *testing.T) {
+	s := newSolver(t, 1, 1, 0)
+	nBefore := s.Mesh.NumBlocks()
+	if err := s.Run(0.15, 5, 0.3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mesh.NumBlocks() <= nBefore {
+		t.Fatal("regridding created no blocks while the blob moved")
+	}
+	// The moved blob's region must now be refined: find the finest block
+	// containing the blob peak.
+	m := s.Mesh
+	bs := m.BlockSize()
+	var peakLevel int
+	peak := -1.0
+	for _, id := range m.Leaves() {
+		b := m.Block(id)
+		for j := 0; j < bs; j++ {
+			for i := 0; i < bs; i++ {
+				if v := s.U.At(id, i, j, 0); v > peak {
+					peak = v
+					peakLevel = b.Level
+				}
+			}
+		}
+	}
+	if peakLevel < 2 {
+		t.Fatalf("blob peak sits on level %d; expected refined coverage", peakLevel)
+	}
+}
+
+func TestSampleCoarseFallback(t *testing.T) {
+	// A leaf at a coarse/fine boundary must read ghosts from the coarser
+	// neighbour without panicking, and the sample must equal the coarse
+	// block's cell value.
+	m, err := amr.NewMesh(2, 4, [3]int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refine only block (0,0): block (1,0) stays coarse.
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	u := amr.NewField(m, "u")
+	u.FillFunc(func(x, y, z float64) float64 { return x })
+	s, err := NewAdvectionDiffusion(m, u, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 cell just right of the fine region (gi=8 at level 1) has no
+	// level-1 block; sample must fall back to level 0 (coarse cell gi=4).
+	got := s.sample(1, 8, 0, 0)
+	coarse, _ := m.Lookup(0, [3]int{1, 0, 0})
+	want := u.At(coarse, 0, 0, 0)
+	if got != want {
+		t.Fatalf("coarse fallback sample = %v, want %v", got, want)
+	}
+	// Periodic wrap: sampling at -1 wraps to the right edge.
+	gotWrap := s.sample(0, -1, 0, 0)
+	wantWrap := u.At(coarse, 3, 0, 0)
+	if gotWrap != wantWrap {
+		t.Fatalf("periodic sample = %v, want %v", gotWrap, wantWrap)
+	}
+}
+
+func TestStepCountsAdvance(t *testing.T) {
+	s := newSolver(t, 0.5, 0, 0.001)
+	dt, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 || s.Time != dt || s.Steps != 1 {
+		t.Fatalf("dt=%v time=%v steps=%d", dt, s.Time, s.Steps)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+)
+
+// Checkpoint is an AMR snapshot of a simulation: a mesh plus one field per
+// physical quantity, mirroring what an AMR application writes to disk.
+type Checkpoint struct {
+	Problem string
+	Mesh    *amr.Mesh
+	Fields  []*amr.Field
+}
+
+// Field returns the named quantity.
+func (c *Checkpoint) Field(name string) (*amr.Field, bool) {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// CheckpointOptions configures GenerateCheckpoint.
+type CheckpointOptions struct {
+	// Resolution is the uniform solver grid (Resolution × Resolution). It
+	// should be at least BlockSize*RootDims*2^MaxDepth to give the finest
+	// AMR level real structure to sample.
+	Resolution int
+	// TScale scales the problem's end time (1 = full run, 0.5 = half).
+	TScale float64
+	// BlockSize, RootDims, MaxDepth, Threshold configure the AMR projection.
+	BlockSize int
+	RootDims  [3]int
+	MaxDepth  int
+	Threshold float64
+	// Quantities to sample; nil means all of QuantityNames().
+	Quantities []string
+}
+
+// DefaultCheckpointOptions returns the configuration used by the evaluation
+// harness: a 256² solve projected onto an 8²-cell-block hierarchy with up to
+// four refinement levels (root 2×2 blocks → finest level matches the solve).
+func DefaultCheckpointOptions() CheckpointOptions {
+	return CheckpointOptions{
+		Resolution: 256,
+		TScale:     1,
+		BlockSize:  8,
+		RootDims:   [3]int{2, 2, 1},
+		MaxDepth:   4,
+		Threshold:  0.35,
+	}
+}
+
+// GenerateCheckpoint runs the named problem to completion on a uniform grid
+// and projects the solution onto an AMR hierarchy adapted to the density
+// field (FLASH refines on density/pressure gradients; density drives the
+// topology here and every other quantity is sampled on the same mesh, as in
+// a real checkpoint where all quantities share the grid).
+func GenerateCheckpoint(problem string, opt CheckpointOptions) (*Checkpoint, error) {
+	p, err := Lookup(problem)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Resolution <= 0 {
+		opt.Resolution = 256
+	}
+	g, err := Run(p, opt.Resolution, opt.Resolution, opt.TScale)
+	if err != nil {
+		return nil, fmt.Errorf("sim: running %s: %w", problem, err)
+	}
+	return ProjectCheckpoint(g, problem, opt)
+}
+
+// ProjectCheckpoint adapts an AMR hierarchy to an already-computed solution
+// and samples the requested quantities onto it.
+func ProjectCheckpoint(g *Grid, problem string, opt CheckpointOptions) (*Checkpoint, error) {
+	quantities := opt.Quantities
+	if quantities == nil {
+		quantities = QuantityNames()
+	}
+	if len(quantities) == 0 {
+		return nil, fmt.Errorf("sim: no quantities requested")
+	}
+	mesh, first, err := amr.BuildAdaptive(amr.BuildOptions{
+		Dims:      2,
+		BlockSize: opt.BlockSize,
+		RootDims:  opt.RootDims,
+		MaxDepth:  opt.MaxDepth,
+		Threshold: opt.Threshold,
+	}, g.Sampler(quantities[0]))
+	if err != nil {
+		return nil, fmt.Errorf("sim: building AMR hierarchy: %w", err)
+	}
+	first.Name = quantities[0]
+	ck := &Checkpoint{Problem: problem, Mesh: mesh, Fields: []*amr.Field{first}}
+	for _, q := range quantities[1:] {
+		ck.Fields = append(ck.Fields, amr.SampleField(mesh, q, g.Sampler(q)))
+	}
+	return ck, nil
+}

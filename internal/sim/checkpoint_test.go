@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amr"
+)
+
+// smallCheckpointOptions keeps unit tests fast.
+func smallCheckpointOptions() CheckpointOptions {
+	return CheckpointOptions{
+		Resolution: 64,
+		TScale:     0.5,
+		BlockSize:  8,
+		RootDims:   [3]int{2, 2, 1},
+		MaxDepth:   2,
+		Threshold:  0.35,
+	}
+}
+
+func TestGenerateCheckpointSod(t *testing.T) {
+	ck, err := GenerateCheckpoint("sod", smallCheckpointOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Problem != "sod" {
+		t.Fatalf("problem %q", ck.Problem)
+	}
+	if got, want := len(ck.Fields), len(QuantityNames()); got != want {
+		t.Fatalf("%d fields, want %d", got, want)
+	}
+	// The shock must have driven refinement.
+	if ck.Mesh.MaxLevel() < 1 {
+		t.Fatal("no refinement on a shock problem")
+	}
+	// Every field shares the mesh.
+	for _, f := range ck.Fields {
+		if f.Mesh() != ck.Mesh {
+			t.Fatalf("field %s bound to a different mesh", f.Name)
+		}
+	}
+	// Density values must be within the physically admissible Sod range.
+	dens, ok := ck.Field("dens")
+	if !ok {
+		t.Fatal("dens field missing")
+	}
+	for id := 0; id < ck.Mesh.NumBlocks(); id++ {
+		for _, v := range dens.Data(amr.BlockID(id)) {
+			if v < 0.05 || v > 1.5 || math.IsNaN(v) {
+				t.Fatalf("density %v outside Sod range", v)
+			}
+		}
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	ck, err := GenerateCheckpoint("sod", smallCheckpointOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.Field("pres"); !ok {
+		t.Fatal("pres missing")
+	}
+	if _, ok := ck.Field("nope"); ok {
+		t.Fatal("bogus field found")
+	}
+}
+
+func TestGenerateCheckpointSubsetQuantities(t *testing.T) {
+	opt := smallCheckpointOptions()
+	opt.Quantities = []string{"pres", "dens"}
+	ck, err := GenerateCheckpoint("sedov", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Fields) != 2 {
+		t.Fatalf("%d fields", len(ck.Fields))
+	}
+	if ck.Fields[0].Name != "pres" || ck.Fields[1].Name != "dens" {
+		t.Fatalf("field names %q %q", ck.Fields[0].Name, ck.Fields[1].Name)
+	}
+}
+
+func TestGenerateCheckpointUnknownProblem(t *testing.T) {
+	if _, err := GenerateCheckpoint("warp-drive", smallCheckpointOptions()); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestSamplerInterpolates(t *testing.T) {
+	g := NewGrid(8, 8, Outflow)
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			x, _ := g.CellCenter(i, j)
+			g.SetPrimitive(i, j, 1+x, 0, 0, 1)
+		}
+	}
+	s := g.Sampler("dens")
+	// At a cell centre the sampler returns the cell value exactly.
+	x, y := g.CellCenter(3, 4)
+	if got := s(x, y, 0); math.Abs(got-(1+x)) > 1e-12 {
+		t.Fatalf("sampler at centre = %v, want %v", got, 1+x)
+	}
+	// Between centres a linear field is reproduced exactly by bilinear
+	// interpolation.
+	xm := x + 0.5*g.Dx()
+	if got := s(xm, y, 0); math.Abs(got-(1+xm)) > 1e-12 {
+		t.Fatalf("sampler midpoint = %v, want %v", got, 1+xm)
+	}
+	// Clamping at the domain edge must not panic and stays in range.
+	if got := s(0, 0, 0); got < 1 || got > 2 {
+		t.Fatalf("corner sample %v out of range", got)
+	}
+	if got := s(1, 1, 0); got < 1 || got > 2 {
+		t.Fatalf("far corner sample %v out of range", got)
+	}
+}
+
+func TestQuantityNamesMatchQuantity(t *testing.T) {
+	g := NewGrid(4, 4, Outflow)
+	g.SetPrimitive(1, 1, 2, 0.5, -0.5, 3)
+	for _, name := range QuantityNames() {
+		v := g.Quantity(name, 1, 1)
+		if math.IsNaN(v) {
+			t.Fatalf("quantity %s is NaN", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown quantity must panic")
+		}
+	}()
+	g.Quantity("bogus", 1, 1)
+}

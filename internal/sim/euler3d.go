@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// nvar3 is the conserved-variable count in 3-D: rho, rho·u, rho·v, rho·w, E.
+const nvar3 = 5
+
+// Grid3 is a uniform 3-D finite-volume grid over the unit cube with two
+// ghost layers per side, advanced by the same MUSCL + HLL dimensional
+// splitting as the 2-D solver.
+type Grid3 struct {
+	Nx, Ny, Nz int
+	BC         Boundary
+	u          [nvar3][]float64
+	sx, sy     int // strides: sx = 1 implicit, sy = Nx+2ng, sz = sy*(Ny+2ng)
+	sz         int
+	Time       float64
+	Steps      int
+}
+
+// NewGrid3 allocates a 3-D grid of nx × ny × nz interior cells.
+func NewGrid3(nx, ny, nz int, bc Boundary) *Grid3 {
+	g := &Grid3{Nx: nx, Ny: ny, Nz: nz, BC: bc}
+	g.sy = nx + 2*ng
+	g.sz = g.sy * (ny + 2*ng)
+	n := g.sz * (nz + 2*ng)
+	for v := 0; v < nvar3; v++ {
+		g.u[v] = make([]float64, n)
+	}
+	return g
+}
+
+// idx maps (i,j,k), each possibly in ghost range, to storage offset.
+func (g *Grid3) idx(i, j, k int) int {
+	return (k+ng)*g.sz + (j+ng)*g.sy + (i + ng)
+}
+
+// Dx reports the cell width (cubic cells over the unit cube per dimension).
+func (g *Grid3) Dx() float64 { return 1.0 / float64(g.Nx) }
+
+// Dy reports the y cell width.
+func (g *Grid3) Dy() float64 { return 1.0 / float64(g.Ny) }
+
+// Dz reports the z cell width.
+func (g *Grid3) Dz() float64 { return 1.0 / float64(g.Nz) }
+
+// CellCenter reports the physical centre of interior cell (i,j,k).
+func (g *Grid3) CellCenter(i, j, k int) (x, y, z float64) {
+	return (float64(i) + 0.5) * g.Dx(), (float64(j) + 0.5) * g.Dy(), (float64(k) + 0.5) * g.Dz()
+}
+
+// SetPrimitive initializes interior cell (i,j,k) from primitive variables.
+func (g *Grid3) SetPrimitive(i, j, k int, rho, vx, vy, vz, p float64) {
+	o := g.idx(i, j, k)
+	g.u[0][o] = rho
+	g.u[1][o] = rho * vx
+	g.u[2][o] = rho * vy
+	g.u[3][o] = rho * vz
+	g.u[4][o] = p/(Gamma-1) + 0.5*rho*(vx*vx+vy*vy+vz*vz)
+}
+
+// Primitive reads primitive variables of interior cell (i,j,k).
+func (g *Grid3) Primitive(i, j, k int) (rho, vx, vy, vz, p float64) {
+	o := g.idx(i, j, k)
+	rho = g.u[0][o]
+	vx = g.u[1][o] / rho
+	vy = g.u[2][o] / rho
+	vz = g.u[3][o] / rho
+	p = (Gamma - 1) * (g.u[4][o] - 0.5*rho*(vx*vx+vy*vy+vz*vz))
+	return
+}
+
+// axisGeom describes sweeps along one axis: extent, memory stride, and the
+// index of the normal momentum component.
+type axisGeom struct {
+	n      int
+	stride int
+	normal int // 1, 2 or 3
+}
+
+func (g *Grid3) axis(a int) axisGeom {
+	switch a {
+	case 0:
+		return axisGeom{g.Nx, 1, 1}
+	case 1:
+		return axisGeom{g.Ny, g.sy, 2}
+	default:
+		return axisGeom{g.Nz, g.sz, 3}
+	}
+}
+
+// fillGhosts applies the boundary condition along every axis.
+func (g *Grid3) fillGhosts() {
+	dims := [3]int{g.Nx, g.Ny, g.Nz}
+	for a := 0; a < 3; a++ {
+		ax := g.axis(a)
+		// Enumerate all lines along axis a.
+		o1, o2 := (a+1)%3, (a+2)%3
+		ax1, ax2 := g.axis(o1), g.axis(o2)
+		for p2 := -ng; p2 < dims[o2]+ng; p2++ {
+			for p1 := -ng; p1 < dims[o1]+ng; p1++ {
+				base := g.idx(0, 0, 0) + p1*ax1.stride + p2*ax2.stride
+				for v := 0; v < nvar3; v++ {
+					u := g.u[v]
+					for l := 1; l <= ng; l++ {
+						lo := base - l*ax.stride
+						hi := base + (ax.n-1+l)*ax.stride
+						switch g.BC {
+						case Periodic:
+							u[lo] = u[base+(ax.n-l)*ax.stride]
+							u[hi] = u[base+(l-1)*ax.stride]
+						case Reflect:
+							u[lo] = u[base+(l-1)*ax.stride]
+							u[hi] = u[base+(ax.n-l)*ax.stride]
+							if v == ax.normal {
+								u[lo] = -u[lo]
+								u[hi] = -u[hi]
+							}
+						default: // Outflow
+							u[lo] = u[base]
+							u[hi] = u[base+(ax.n-1)*ax.stride]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// hllFlux3 computes the HLL flux for a 1-D Riemann problem with the normal
+// momentum at index nrm; the other two momenta advect passively.
+func hllFlux3(l, r [nvar3]float64, nrm int) [nvar3]float64 {
+	prim := func(c [nvar3]float64) (rho, un, p float64) {
+		rho = c[0]
+		if rho < 1e-12 {
+			rho = 1e-12
+		}
+		un = c[nrm] / rho
+		ke := (c[1]*c[1] + c[2]*c[2] + c[3]*c[3]) / (2 * rho)
+		p = (Gamma - 1) * (c[4] - ke)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		return
+	}
+	rhoL, uL, pL := prim(l)
+	rhoR, uR, pR := prim(r)
+	cL := math.Sqrt(Gamma * pL / rhoL)
+	cR := math.Sqrt(Gamma * pR / rhoR)
+	sL := math.Min(uL-cL, uR-cR)
+	sR := math.Max(uL+cL, uR+cR)
+	fluxOf := func(c [nvar3]float64, un, p float64) [nvar3]float64 {
+		var f [nvar3]float64
+		f[0] = c[nrm]
+		for m := 1; m <= 3; m++ {
+			f[m] = c[m] * un
+		}
+		f[nrm] += p
+		f[4] = un * (c[4] + p)
+		return f
+	}
+	fL := fluxOf(l, uL, pL)
+	fR := fluxOf(r, uR, pR)
+	switch {
+	case sL >= 0:
+		return fL
+	case sR <= 0:
+		return fR
+	default:
+		var f [nvar3]float64
+		inv := 1 / (sR - sL)
+		for v := 0; v < nvar3; v++ {
+			f[v] = (sR*fL[v] - sL*fR[v] + sL*sR*(r[v]-l[v])) * inv
+		}
+		return f
+	}
+}
+
+// maxWaveSpeed3 scans the interior for the largest per-axis signal speed.
+func (g *Grid3) maxWaveSpeed3() [3]float64 {
+	var a [3]float64
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				rho, vx, vy, vz, p := g.Primitive(i, j, k)
+				if rho <= 0 || p <= 0 {
+					continue
+				}
+				c := math.Sqrt(Gamma * p / rho)
+				if s := math.Abs(vx) + c; s > a[0] {
+					a[0] = s
+				}
+				if s := math.Abs(vy) + c; s > a[1] {
+					a[1] = s
+				}
+				if s := math.Abs(vz) + c; s > a[2] {
+					a[2] = s
+				}
+			}
+		}
+	}
+	return a
+}
+
+// sweep3 advances the split equations along axis a by dt with MUSCL
+// reconstruction on every line.
+func (g *Grid3) sweep3(a int, dt float64) {
+	g.fillGhosts()
+	ax := g.axis(a)
+	h := [3]float64{g.Dx(), g.Dy(), g.Dz()}[a]
+	lam := dt / h
+	dims := [3]int{g.Nx, g.Ny, g.Nz}
+	o1, o2 := (a+1)%3, (a+2)%3
+	ax1, ax2 := g.axis(o1), g.axis(o2)
+
+	flux := make([][nvar3]float64, ax.n+1)
+	newU := make([][nvar3]float64, ax.n)
+	for p2 := 0; p2 < dims[o2]; p2++ {
+		for p1 := 0; p1 < dims[o1]; p1++ {
+			base := g.idx(0, 0, 0) + p1*ax1.stride + p2*ax2.stride
+			at := func(v, i int) float64 { return g.u[v][base+i*ax.stride] }
+			for i := 0; i <= ax.n; i++ {
+				var l, r [nvar3]float64
+				for v := 0; v < nvar3; v++ {
+					um := at(v, i-2)
+					u0 := at(v, i-1)
+					up := at(v, i)
+					upp := at(v, i+1)
+					l[v] = u0 + 0.5*minmod(u0-um, up-u0)
+					r[v] = up - 0.5*minmod(up-u0, upp-up)
+				}
+				flux[i] = hllFlux3(l, r, ax.normal)
+			}
+			for i := 0; i < ax.n; i++ {
+				for v := 0; v < nvar3; v++ {
+					newU[i][v] = at(v, i) - lam*(flux[i+1][v]-flux[i][v])
+				}
+			}
+			for i := 0; i < ax.n; i++ {
+				for v := 0; v < nvar3; v++ {
+					g.u[v][base+i*ax.stride] = newU[i][v]
+				}
+			}
+		}
+	}
+}
+
+// Step advances one time step of at most dtMax; sweep order rotates with
+// step parity for approximate Strang symmetry.
+func (g *Grid3) Step(cfl, dtMax float64) (float64, error) {
+	a := g.maxWaveSpeed3()
+	sum := a[0]/g.Dx() + a[1]/g.Dy() + a[2]/g.Dz()
+	if sum == 0 {
+		return 0, fmt.Errorf("sim: zero wave speed; uninitialized grid?")
+	}
+	dt := cfl / sum
+	if dtMax > 0 && dt > dtMax {
+		dt = dtMax
+	}
+	order := [][3]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {0, 2, 1}, {2, 0, 1}, {1, 0, 2}}
+	for _, ax := range order[g.Steps%len(order)] {
+		g.sweep3(ax, dt)
+	}
+	g.Time += dt
+	g.Steps++
+	return dt, nil
+}
+
+// Advance runs Step until tEnd.
+func (g *Grid3) Advance(tEnd, cfl float64) error {
+	const maxSteps = 200000
+	for g.Time < tEnd {
+		if _, err := g.Step(cfl, tEnd-g.Time); err != nil {
+			return err
+		}
+		if g.Steps > maxSteps {
+			return fmt.Errorf("sim: exceeded %d steps before t=%g", maxSteps, tEnd)
+		}
+	}
+	return nil
+}
+
+// Quantity3 evaluates a named primitive quantity at interior cell (i,j,k).
+// Names follow QuantityNames plus "velz".
+func (g *Grid3) Quantity3(name string, i, j, k int) float64 {
+	rho, vx, vy, vz, p := g.Primitive(i, j, k)
+	switch name {
+	case "dens":
+		return rho
+	case "pres":
+		return p
+	case "velx":
+		return vx
+	case "vely":
+		return vy
+	case "velz":
+		return vz
+	case "ener":
+		return p/((Gamma-1)*rho) + 0.5*(vx*vx+vy*vy+vz*vz)
+	default:
+		panic(fmt.Sprintf("sim: unknown quantity %q", name))
+	}
+}
+
+// Sampler3 returns a trilinear interpolator over the named quantity.
+func (g *Grid3) Sampler3(name string) func(x, y, z float64) float64 {
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	vals := make([]float64, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				vals[(k*ny+j)*nx+i] = g.Quantity3(name, i, j, k)
+			}
+		}
+	}
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	return func(x, y, z float64) float64 {
+		fx := x*float64(nx) - 0.5
+		fy := y*float64(ny) - 0.5
+		fz := z*float64(nz) - 0.5
+		i0 := clamp(int(math.Floor(fx)), nx-1)
+		j0 := clamp(int(math.Floor(fy)), ny-1)
+		k0 := clamp(int(math.Floor(fz)), nz-1)
+		i1 := clamp(i0+1, nx-1)
+		j1 := clamp(j0+1, ny-1)
+		k1 := clamp(k0+1, nz-1)
+		tx := fx - math.Floor(fx)
+		ty := fy - math.Floor(fy)
+		tz := fz - math.Floor(fz)
+		if i1 == i0 {
+			tx = 0
+		}
+		if j1 == j0 {
+			ty = 0
+		}
+		if k1 == k0 {
+			tz = 0
+		}
+		v := func(i, j, k int) float64 { return vals[(k*ny+j)*nx+i] }
+		lerp := func(a, b, t float64) float64 { return a + t*(b-a) }
+		c00 := lerp(v(i0, j0, k0), v(i1, j0, k0), tx)
+		c10 := lerp(v(i0, j1, k0), v(i1, j1, k0), tx)
+		c01 := lerp(v(i0, j0, k1), v(i1, j0, k1), tx)
+		c11 := lerp(v(i0, j1, k1), v(i1, j1, k1), tx)
+		return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz)
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrid3PrimitiveRoundTrip(t *testing.T) {
+	g := NewGrid3(4, 4, 4, Outflow)
+	g.SetPrimitive(1, 2, 3, 1.5, 0.1, -0.2, 0.3, 2.5)
+	rho, vx, vy, vz, p := g.Primitive(1, 2, 3)
+	if rho != 1.5 || math.Abs(vx-0.1) > 1e-14 || math.Abs(vy+0.2) > 1e-14 ||
+		math.Abs(vz-0.3) > 1e-14 || math.Abs(p-2.5) > 1e-12 {
+		t.Fatalf("round trip: %v %v %v %v %v", rho, vx, vy, vz, p)
+	}
+}
+
+func TestUniformFlow3DIsSteady(t *testing.T) {
+	g := NewGrid3(8, 8, 8, Periodic)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				g.SetPrimitive(i, j, k, 1.2, 0.3, -0.4, 0.5, 1.7)
+			}
+		}
+	}
+	for s := 0; s < 6; s++ {
+		if _, err := g.Step(0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				rho, vx, vy, vz, p := g.Primitive(i, j, k)
+				if math.Abs(rho-1.2) > 1e-12 || math.Abs(vx-0.3) > 1e-12 ||
+					math.Abs(vy+0.4) > 1e-12 || math.Abs(vz-0.5) > 1e-12 ||
+					math.Abs(p-1.7) > 1e-10 {
+					t.Fatalf("cell (%d,%d,%d) drifted", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestMassConservation3DPeriodic(t *testing.T) {
+	g := NewGrid3(12, 12, 12, Periodic)
+	for k := 0; k < 12; k++ {
+		for j := 0; j < 12; j++ {
+			for i := 0; i < 12; i++ {
+				x, y, z := g.CellCenter(i, j, k)
+				g.SetPrimitive(i, j, k, 1+0.3*math.Sin(2*math.Pi*(x+y+z)),
+					0.2, -0.1, 0.15, 1)
+			}
+		}
+	}
+	mass := func() float64 {
+		var m float64
+		for k := 0; k < 12; k++ {
+			for j := 0; j < 12; j++ {
+				for i := 0; i < 12; i++ {
+					rho, _, _, _, _ := g.Primitive(i, j, k)
+					m += rho
+				}
+			}
+		}
+		return m
+	}
+	m0 := mass()
+	for s := 0; s < 20; s++ {
+		if _, err := g.Step(0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rel := math.Abs(mass()-m0) / m0; rel > 1e-12 {
+		t.Fatalf("mass drifted by %v", rel)
+	}
+}
+
+func TestSod3DAgainstExact(t *testing.T) {
+	p, err := Lookup3D("sod3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse 3-D run; variation is along x only.
+	g := NewGrid3(96, 4, 4, p.BC)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 96; i++ {
+				x := (float64(i) + 0.5) / 96
+				rho, vx, vy, vz, pr := p.InitialCondition(x, 0, 0)
+				g.SetPrimitive(i, j, k, rho, vx, vy, vz, pr)
+			}
+		}
+	}
+	if err := g.Advance(0.2, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactRiemann(
+		RiemannState{Rho: 1, U: 0, P: 1},
+		RiemannState{Rho: 0.125, U: 0, P: 0.1},
+	)
+	var l1 float64
+	for i := 0; i < 96; i++ {
+		x := (float64(i) + 0.5) / 96
+		rho, _, _, _, _ := g.Primitive(i, 2, 2)
+		want, _, _ := exact((x - 0.5) / g.Time)
+		l1 += math.Abs(rho - want)
+	}
+	l1 /= 96
+	if l1 > 0.03 {
+		t.Fatalf("3-D Sod density L1 error %.4f vs exact; want < 0.03", l1)
+	}
+}
+
+func TestSedov3DSymmetry(t *testing.T) {
+	p, err := Lookup3D("sedov3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Run3D(p, 24, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Octant symmetry of density about the centre.
+	n := 24
+	for k := 0; k < n/2; k++ {
+		for j := 0; j < n/2; j++ {
+			for i := 0; i < n/2; i++ {
+				a, _, _, _, _ := g.Primitive(i, j, k)
+				b, _, _, _, _ := g.Primitive(n-1-i, j, k)
+				c, _, _, _, _ := g.Primitive(i, n-1-j, k)
+				d, _, _, _, _ := g.Primitive(i, j, n-1-k)
+				if math.Abs(a-b) > 1e-9 || math.Abs(a-c) > 1e-9 || math.Abs(a-d) > 1e-9 {
+					t.Fatalf("asymmetry at (%d,%d,%d): %v %v %v %v", i, j, k, a, b, c, d)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantity3AndSampler3(t *testing.T) {
+	g := NewGrid3(8, 8, 8, Outflow)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				x, _, _ := g.CellCenter(i, j, k)
+				g.SetPrimitive(i, j, k, 1+x, 0.5, 0, 0, 1)
+			}
+		}
+	}
+	if v := g.Quantity3("velx", 3, 3, 3); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("velx = %v", v)
+	}
+	s := g.Sampler3("dens")
+	x, y, z := g.CellCenter(4, 4, 4)
+	if got := s(x, y, z); math.Abs(got-(1+x)) > 1e-12 {
+		t.Fatalf("sampler at centre = %v, want %v", got, 1+x)
+	}
+	// Trilinear interpolation reproduces linear fields between centres.
+	xm := x + 0.3*g.Dx()
+	if got := s(xm, y, z); math.Abs(got-(1+xm)) > 1e-12 {
+		t.Fatalf("sampler between centres = %v, want %v", got, 1+xm)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown quantity must panic")
+		}
+	}()
+	g.Quantity3("bogus", 0, 0, 0)
+}
+
+func TestGenerateCheckpoint3D(t *testing.T) {
+	ck, err := GenerateCheckpoint3D("sedov3d", 24, Analytic3DOptions{
+		BlockSize: 4, RootDims: [3]int{2, 2, 2}, MaxDepth: 2, Threshold: 0.35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Mesh.Dims() != 3 {
+		t.Fatalf("dims %d", ck.Mesh.Dims())
+	}
+	if ck.Mesh.MaxLevel() < 1 {
+		t.Fatal("3-D blast did not refine")
+	}
+	if len(ck.Fields) != len(QuantityNames3D()) {
+		t.Fatalf("%d fields", len(ck.Fields))
+	}
+	if _, err := GenerateCheckpoint3D("nope", 16, Analytic3DOptions{}); err == nil {
+		t.Fatal("unknown 3-D problem accepted")
+	}
+}
+
+func TestReflect3DGhosts(t *testing.T) {
+	g := NewGrid3(4, 4, 4, Reflect)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				g.SetPrimitive(i, j, k, 1, 2, 3, 4, 1)
+			}
+		}
+	}
+	g.fillGhosts()
+	// Normal momentum flips at each face; density mirrors.
+	if g.u[0][g.idx(-1, 2, 2)] != g.u[0][g.idx(0, 2, 2)] {
+		t.Fatal("x-face density")
+	}
+	if g.u[1][g.idx(-1, 2, 2)] != -g.u[1][g.idx(0, 2, 2)] {
+		t.Fatal("x-face normal momentum must flip")
+	}
+	if g.u[2][g.idx(2, -1, 2)] != -g.u[2][g.idx(2, 0, 2)] {
+		t.Fatal("y-face normal momentum must flip")
+	}
+	if g.u[3][g.idx(2, 2, -1)] != -g.u[3][g.idx(2, 2, 0)] {
+		t.Fatal("z-face normal momentum must flip")
+	}
+	// Tangential momentum mirrors unchanged.
+	if g.u[2][g.idx(-1, 2, 2)] != g.u[2][g.idx(0, 2, 2)] {
+		t.Fatal("x-face tangential momentum must mirror")
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridIndexing(t *testing.T) {
+	g := NewGrid(8, 4, Outflow)
+	g.SetPrimitive(0, 0, 1, 2, 3, 4)
+	rho, vx, vy, p := g.Primitive(0, 0)
+	if rho != 1 || vx != 2 || vy != 3 || math.Abs(p-4) > 1e-12 {
+		t.Fatalf("primitive round trip: %v %v %v %v", rho, vx, vy, p)
+	}
+	// Adjacent cell is untouched.
+	if rho, _, _, _ := g.Primitive(1, 0); rho != 0 {
+		t.Fatalf("neighbouring cell contaminated: rho=%v", rho)
+	}
+}
+
+func TestGhostFillOutflow(t *testing.T) {
+	g := NewGrid(4, 4, Outflow)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			g.SetPrimitive(i, j, float64(i+1), 0, 0, 1)
+		}
+	}
+	g.fillGhosts()
+	if g.u[0][g.idx(-1, 2)] != g.u[0][g.idx(0, 2)] {
+		t.Fatal("left ghost not extrapolated")
+	}
+	if g.u[0][g.idx(4, 2)] != g.u[0][g.idx(3, 2)] {
+		t.Fatal("right ghost not extrapolated")
+	}
+}
+
+func TestGhostFillPeriodic(t *testing.T) {
+	g := NewGrid(4, 4, Periodic)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			g.SetPrimitive(i, j, float64(4*j+i+1), 0, 0, 1)
+		}
+	}
+	g.fillGhosts()
+	if g.u[0][g.idx(-1, 2)] != g.u[0][g.idx(3, 2)] {
+		t.Fatal("left ghost not periodic")
+	}
+	if g.u[0][g.idx(4, 2)] != g.u[0][g.idx(0, 2)] {
+		t.Fatal("right ghost not periodic")
+	}
+	if g.u[0][g.idx(2, -2)] != g.u[0][g.idx(2, 2)] {
+		t.Fatal("bottom ghost not periodic")
+	}
+}
+
+func TestGhostFillReflect(t *testing.T) {
+	g := NewGrid(4, 4, Reflect)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			g.SetPrimitive(i, j, 1, 2, 3, 1)
+		}
+	}
+	g.fillGhosts()
+	// Density mirrors, normal momentum flips.
+	if g.u[0][g.idx(-1, 2)] != g.u[0][g.idx(0, 2)] {
+		t.Fatal("reflect density")
+	}
+	if g.u[1][g.idx(-1, 2)] != -g.u[1][g.idx(0, 2)] {
+		t.Fatal("x-momentum must flip at x boundary")
+	}
+	if g.u[2][g.idx(2, -1)] != -g.u[2][g.idx(2, 0)] {
+		t.Fatal("y-momentum must flip at y boundary")
+	}
+}
+
+func TestUniformFlowIsSteady(t *testing.T) {
+	// A uniform state must be an exact steady solution.
+	g := NewGrid(16, 16, Periodic)
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			g.SetPrimitive(i, j, 1.3, 0.7, -0.2, 2.1)
+		}
+	}
+	for s := 0; s < 10; s++ {
+		if _, err := g.Step(0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			rho, vx, vy, p := g.Primitive(i, j)
+			if math.Abs(rho-1.3) > 1e-12 || math.Abs(vx-0.7) > 1e-12 ||
+				math.Abs(vy+0.2) > 1e-12 || math.Abs(p-2.1) > 1e-10 {
+				t.Fatalf("cell (%d,%d) drifted: %v %v %v %v", i, j, rho, vx, vy, p)
+			}
+		}
+	}
+}
+
+func TestMassConservationPeriodic(t *testing.T) {
+	p, err := Lookup("kh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGrid(32, 32, p.BC)
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			x, y := g.CellCenter(i, j)
+			rho, vx, vy, pr := p.InitialCondition(x, y)
+			g.SetPrimitive(i, j, rho, vx, vy, pr)
+		}
+	}
+	mass := func() float64 {
+		var m float64
+		for j := 0; j < 32; j++ {
+			for i := 0; i < 32; i++ {
+				rho, _, _, _ := g.Primitive(i, j)
+				m += rho
+			}
+		}
+		return m * g.Dx() * g.Dy()
+	}
+	m0 := mass()
+	for s := 0; s < 50; s++ {
+		if _, err := g.Step(0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rel := math.Abs(mass()-m0) / m0; rel > 1e-12 {
+		t.Fatalf("mass drifted by %v (relative)", rel)
+	}
+}
+
+func TestSodAgainstExact(t *testing.T) {
+	p, err := Lookup("sod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Run(p, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactRiemann(
+		RiemannState{Rho: 1, U: 0, P: 1},
+		RiemannState{Rho: 0.125, U: 0, P: 0.1},
+	)
+	var l1 float64
+	for i := 0; i < 256; i++ {
+		x, _ := g.CellCenter(i, 0)
+		rho, _, _, _ := g.Primitive(i, 1)
+		want, _, _ := exact((x - 0.5) / g.Time)
+		l1 += math.Abs(rho - want)
+	}
+	l1 /= 256
+	if l1 > 0.015 {
+		t.Fatalf("Sod density L1 error %.4f vs exact; want < 0.015", l1)
+	}
+}
+
+func TestExactRiemannSodValues(t *testing.T) {
+	// Reference values for the Sod problem (Toro, table 4.1 / standard):
+	// p* ≈ 0.30313, u* ≈ 0.92745.
+	exact := ExactRiemann(
+		RiemannState{Rho: 1, U: 0, P: 1},
+		RiemannState{Rho: 0.125, U: 0, P: 0.1},
+	)
+	// Sample just left of the contact (s slightly below u*).
+	rho, u, p := exact(0.9)
+	if math.Abs(p-0.30313) > 1e-3 {
+		t.Fatalf("p* = %v, want 0.30313", p)
+	}
+	if math.Abs(u-0.92745) > 1e-3 {
+		t.Fatalf("u* = %v, want 0.92745", u)
+	}
+	if math.Abs(rho-0.42632) > 1e-3 {
+		t.Fatalf("rho*L = %v, want 0.42632", rho)
+	}
+	// Post-shock density on the right of the contact: 0.26557.
+	rho, _, _ = exact(1.0)
+	if math.Abs(rho-0.26557) > 1e-3 {
+		t.Fatalf("rho*R = %v, want 0.26557", rho)
+	}
+	// Far states are returned untouched.
+	rho, u, p = exact(-10)
+	if rho != 1 || u != 0 || p != 1 {
+		t.Fatalf("far-left state %v %v %v", rho, u, p)
+	}
+	rho, u, p = exact(10)
+	if rho != 0.125 || u != 0 || p != 0.1 {
+		t.Fatalf("far-right state %v %v %v", rho, u, p)
+	}
+}
+
+func TestSedovSymmetry(t *testing.T) {
+	p, err := Lookup("sedov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Run(p, 64, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadrant symmetry of the density field about the centre.
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			a, _, _, _ := g.Primitive(i, j)
+			b, _, _, _ := g.Primitive(63-i, j)
+			c, _, _, _ := g.Primitive(i, 63-j)
+			if math.Abs(a-b) > 1e-9 || math.Abs(a-c) > 1e-9 {
+				t.Fatalf("asymmetry at (%d,%d): %v %v %v", i, j, a, b, c)
+			}
+		}
+	}
+	// The blast must have produced a density contrast.
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for j := 0; j < 64; j++ {
+		for i := 0; i < 64; i++ {
+			rho, _, _, _ := g.Primitive(i, j)
+			min = math.Min(min, rho)
+			max = math.Max(max, rho)
+		}
+	}
+	if max/min < 2 {
+		t.Fatalf("blast contrast %v too weak", max/min)
+	}
+}
+
+func TestStepOnEmptyGridErrors(t *testing.T) {
+	g := NewGrid(8, 8, Outflow)
+	if _, err := g.Step(0.4, 0); err == nil {
+		t.Fatal("Step on uninitialized grid must error")
+	}
+}
+
+func TestProblemsRegistry(t *testing.T) {
+	names := Problems()
+	if len(names) != 4 {
+		t.Fatalf("registry has %d problems", len(names))
+	}
+	for _, n := range names {
+		p, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TEnd <= 0 || p.CFL <= 0 || p.InitialCondition == nil {
+			t.Fatalf("problem %q incomplete", n)
+		}
+	}
+	if _, err := Lookup("nonexistent"); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestPositivity(t *testing.T) {
+	// The strong Sedov blast must keep density and pressure positive.
+	p, err := Lookup("sedov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Run(p, 64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 64; j++ {
+		for i := 0; i < 64; i++ {
+			rho, _, _, pr := g.Primitive(i, j)
+			if rho <= 0 || math.IsNaN(rho) || math.IsNaN(pr) {
+				t.Fatalf("cell (%d,%d): rho=%v p=%v", i, j, rho, pr)
+			}
+		}
+	}
+}

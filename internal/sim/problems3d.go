@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/amr"
+)
+
+// Problem3D is a 3-D test problem.
+type Problem3D struct {
+	Name             string
+	About            string
+	BC               Boundary
+	TEnd             float64
+	CFL              float64
+	InitialCondition func(x, y, z float64) (rho, vx, vy, vz, p float64)
+}
+
+var problems3d = map[string]Problem3D{
+	"sod3d": {
+		Name:  "sod3d",
+		About: "Sod shock tube along x in 3-D",
+		BC:    Outflow,
+		TEnd:  0.2,
+		CFL:   0.4,
+		InitialCondition: func(x, y, z float64) (float64, float64, float64, float64, float64) {
+			if x < 0.5 {
+				return 1, 0, 0, 0, 1
+			}
+			return 0.125, 0, 0, 0, 0.1
+		},
+	},
+	"sedov3d": {
+		Name:  "sedov3d",
+		About: "Sedov point blast in 3-D: spherical shock from the centre",
+		BC:    Outflow,
+		TEnd:  0.05,
+		CFL:   0.3,
+		InitialCondition: func(x, y, z float64) (float64, float64, float64, float64, float64) {
+			r := math.Sqrt((x-0.5)*(x-0.5) + (y-0.5)*(y-0.5) + (z-0.5)*(z-0.5))
+			if r < 0.04 {
+				return 1, 0, 0, 0, 500
+			}
+			return 1, 0, 0, 0, 1e-2
+		},
+	},
+}
+
+// Problems3D lists the 3-D problem names, sorted.
+func Problems3D() []string {
+	names := make([]string, 0, len(problems3d))
+	for n := range problems3d {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup3D returns the named 3-D problem.
+func Lookup3D(name string) (Problem3D, error) {
+	p, ok := problems3d[name]
+	if !ok {
+		return Problem3D{}, fmt.Errorf("sim: unknown 3-D problem %q (have %v)", name, Problems3D())
+	}
+	return p, nil
+}
+
+// Run3D initializes and advances a 3-D problem on an n³ grid.
+func Run3D(p Problem3D, n int, tScale float64) (*Grid3, error) {
+	g := NewGrid3(n, n, n, p.BC)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				x, y, z := g.CellCenter(i, j, k)
+				rho, vx, vy, vz, pr := p.InitialCondition(x, y, z)
+				g.SetPrimitive(i, j, k, rho, vx, vy, vz, pr)
+			}
+		}
+	}
+	if tScale <= 0 {
+		tScale = 1
+	}
+	if err := g.Advance(p.TEnd*tScale, p.CFL); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// QuantityNames3D lists the quantities of a 3-D checkpoint.
+func QuantityNames3D() []string { return []string{"dens", "pres", "velx", "vely", "velz"} }
+
+// GenerateCheckpoint3D runs a 3-D problem and projects it onto a 3-D AMR
+// hierarchy (density drives refinement), yielding a multi-quantity 3-D
+// checkpoint like the 3-D FLASH datasets in the paper's evaluation.
+func GenerateCheckpoint3D(problem string, resolution int, opt Analytic3DOptions) (*Checkpoint, error) {
+	p, err := Lookup3D(problem)
+	if err != nil {
+		return nil, err
+	}
+	if resolution <= 0 {
+		resolution = 48
+	}
+	if opt.BlockSize == 0 {
+		opt = DefaultAnalytic3DOptions()
+	}
+	g, err := Run3D(p, resolution, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sim: running %s: %w", problem, err)
+	}
+	mesh, first, err := amr.BuildAdaptive(amr.BuildOptions{
+		Dims:      3,
+		BlockSize: opt.BlockSize,
+		RootDims:  opt.RootDims,
+		MaxDepth:  opt.MaxDepth,
+		Threshold: opt.Threshold,
+	}, g.Sampler3("dens"))
+	if err != nil {
+		return nil, fmt.Errorf("sim: building 3-D hierarchy: %w", err)
+	}
+	first.Name = "dens"
+	ck := &Checkpoint{Problem: problem, Mesh: mesh, Fields: []*amr.Field{first}}
+	for _, q := range QuantityNames3D()[1:] {
+		ck.Fields = append(ck.Fields, amr.SampleField(mesh, q, g.Sampler3(q)))
+	}
+	return ck, nil
+}

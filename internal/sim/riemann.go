@@ -1,0 +1,125 @@
+package sim
+
+import "math"
+
+// RiemannState is one side of a 1-D Riemann problem in primitive variables.
+type RiemannState struct {
+	Rho, U, P float64
+}
+
+// ExactRiemann solves the 1-D Riemann problem exactly (Toro, ch. 4) and
+// returns a sampler giving (rho, u, p) at similarity coordinate s = x/t.
+// It is used to validate the Euler solver against the Sod problem.
+func ExactRiemann(l, r RiemannState) func(s float64) (rho, u, p float64) {
+	g := Gamma
+	g1 := (g - 1) / (2 * g)
+	g2 := (g + 1) / (2 * g)
+	g3 := 2 * g / (g - 1)
+	g4 := 2 / (g - 1)
+	g5 := 2 / (g + 1)
+	g6 := (g - 1) / (g + 1)
+	g7 := (g - 1) / 2
+
+	cL := math.Sqrt(g * l.P / l.Rho)
+	cR := math.Sqrt(g * r.P / r.Rho)
+
+	// fK is the pressure function for one side; returns f and df/dp.
+	fK := func(p float64, s RiemannState, c float64) (f, df float64) {
+		if p > s.P {
+			// Shock.
+			a := g5 / s.Rho
+			b := g6 * s.P
+			q := math.Sqrt(a / (p + b))
+			f = (p - s.P) * q
+			df = q * (1 - 0.5*(p-s.P)/(b+p))
+			return
+		}
+		// Rarefaction.
+		pr := p / s.P
+		f = g4 * c * (math.Pow(pr, g1) - 1)
+		df = math.Pow(pr, -g2) / (s.Rho * c)
+		return
+	}
+
+	// Newton-Raphson for p*.
+	p := 0.5 * (l.P + r.P) // initial guess
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	for iter := 0; iter < 100; iter++ {
+		fL, dL := fK(p, l, cL)
+		fR, dR := fK(p, r, cR)
+		f := fL + fR + (r.U - l.U)
+		df := dL + dR
+		dp := f / df
+		p -= dp
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		if math.Abs(dp) < 1e-14*(p+1e-14) {
+			break
+		}
+	}
+	pStar := p
+	fL, _ := fK(pStar, l, cL)
+	fR, _ := fK(pStar, r, cR)
+	uStar := 0.5*(l.U+r.U) + 0.5*(fR-fL)
+
+	return func(s float64) (rho, u, pp float64) {
+		if s <= uStar {
+			// Left of contact.
+			if pStar > l.P {
+				// Left shock.
+				sL := l.U - cL*math.Sqrt(g2*pStar/l.P+g1)
+				if s <= sL {
+					return l.Rho, l.U, l.P
+				}
+				rhoS := l.Rho * (pStar/l.P + g6) / (g6*pStar/l.P + 1)
+				return rhoS, uStar, pStar
+			}
+			// Left rarefaction.
+			shL := l.U - cL
+			if s <= shL {
+				return l.Rho, l.U, l.P
+			}
+			cStar := cL * math.Pow(pStar/l.P, g1)
+			stL := uStar - cStar
+			if s >= stL {
+				rhoS := l.Rho * math.Pow(pStar/l.P, 1/g)
+				return rhoS, uStar, pStar
+			}
+			// Inside the fan.
+			u = g5 * (cL + g7*l.U + s)
+			c := g5 * (cL + g7*(l.U-s))
+			rho = l.Rho * math.Pow(c/cL, g4)
+			pp = l.P * math.Pow(c/cL, g3)
+			return rho, u, pp
+		}
+		// Right of contact.
+		if pStar > r.P {
+			// Right shock.
+			sR := r.U + cR*math.Sqrt(g2*pStar/r.P+g1)
+			if s >= sR {
+				return r.Rho, r.U, r.P
+			}
+			rhoS := r.Rho * (pStar/r.P + g6) / (g6*pStar/r.P + 1)
+			return rhoS, uStar, pStar
+		}
+		// Right rarefaction.
+		shR := r.U + cR
+		if s >= shR {
+			return r.Rho, r.U, r.P
+		}
+		cStar := cR * math.Pow(pStar/r.P, g1)
+		stR := uStar + cStar
+		if s <= stR {
+			rhoS := r.Rho * math.Pow(pStar/r.P, 1/g)
+			return rhoS, uStar, pStar
+		}
+		u = g5 * (-cR + g7*r.U + s)
+		c := g5 * (cR - g7*(r.U-s))
+		rho = r.Rho * math.Pow(c/cR, g4)
+		pp = r.P * math.Pow(c/cR, g3)
+		return rho, u, pp
+	}
+}

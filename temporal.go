@@ -1,0 +1,183 @@
+package zmesh
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/compress"
+	"repro/internal/core"
+)
+
+// Temporal compression exploits the coherence between successive
+// checkpoints of a running simulation: while the AMR topology is unchanged,
+// each quantity is compressed as the delta between its current values and
+// the previous snapshot's *reconstruction* (so encoder and decoder stay in
+// lockstep and errors never accumulate beyond the per-snapshot bound).
+// When a regrid changes the topology the encoder falls back to a spatial
+// keyframe, exactly like video codecs at scene cuts.
+
+// TemporalCompressed is one snapshot of one quantity in a temporal stream.
+type TemporalCompressed struct {
+	Compressed
+	// Keyframe marks a spatially-coded snapshot (topology changed or first
+	// in the stream); delta frames require every prior frame since the
+	// last keyframe.
+	Keyframe bool
+	// Structure is the mesh topology for keyframes (nil on delta frames,
+	// where topology is unchanged by construction).
+	Structure []byte
+}
+
+// TemporalEncoder compresses a time series of fields. One encoder handles
+// one logical quantity stream (e.g. "dens" over time).
+type TemporalEncoder struct {
+	opt           Options
+	prevStructure []byte
+	recipe        *core.Recipe
+	codec         compress.Compressor
+	prevRecon     []float64 // previous reconstruction, layout order
+}
+
+// NewTemporalEncoder creates an encoder for one quantity stream.
+func NewTemporalEncoder(opt Options) (*TemporalEncoder, error) {
+	opt.fillDefaults()
+	codec, err := compress.Get(opt.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &TemporalEncoder{opt: opt, codec: codec}, nil
+}
+
+// CompressSnapshot encodes the next snapshot of the stream. The field's
+// mesh may differ from the previous snapshot's (regridding); the encoder
+// detects topology changes via the serialized structure.
+func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCompressed, error) {
+	m := f.Mesh()
+	structure := m.Structure()
+	sameTopology := te.prevStructure != nil && bytes.Equal(structure, te.prevStructure)
+	if !sameTopology {
+		recipe, err := core.BuildRecipe(m, te.opt.Layout, te.opt.Curve)
+		if err != nil {
+			return nil, err
+		}
+		te.recipe = recipe
+		te.prevStructure = structure
+	}
+	stream, err := te.recipe.Apply(amr.Flatten(amr.LevelArrays(f)))
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the bound against the field itself so delta frames keep the
+	// caller's point-wise semantics.
+	abs := compress.AbsBound(bound.Absolute(stream))
+
+	if !sameTopology {
+		// Keyframe.
+		payload, err := te.codec.Compress(stream, []int{len(stream)}, abs)
+		if err != nil {
+			return nil, err
+		}
+		recon, err := te.codec.Decompress(payload)
+		if err != nil {
+			return nil, err
+		}
+		te.prevRecon = recon
+		return &TemporalCompressed{
+			Compressed: Compressed{
+				FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
+				Codec: te.opt.Codec, NumValues: len(stream), Payload: payload,
+			},
+			Keyframe:  true,
+			Structure: structure,
+		}, nil
+	}
+	// Delta frame against the previous reconstruction.
+	if len(te.prevRecon) != len(stream) {
+		return nil, fmt.Errorf("zmesh: temporal state out of sync (%d vs %d values)",
+			len(te.prevRecon), len(stream))
+	}
+	delta := make([]float64, len(stream))
+	for i := range delta {
+		delta[i] = stream[i] - te.prevRecon[i]
+	}
+	payload, err := te.codec.Compress(delta, []int{len(delta)}, abs)
+	if err != nil {
+		return nil, err
+	}
+	dRecon, err := te.codec.Decompress(payload)
+	if err != nil {
+		return nil, err
+	}
+	for i := range te.prevRecon {
+		te.prevRecon[i] += dRecon[i]
+	}
+	return &TemporalCompressed{
+		Compressed: Compressed{
+			FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
+			Codec: te.opt.Codec, NumValues: len(stream), Payload: payload,
+		},
+	}, nil
+}
+
+// TemporalDecoder reconstructs a quantity stream snapshot by snapshot.
+type TemporalDecoder struct {
+	recipe    *core.Recipe
+	mesh      *Mesh
+	prevRecon []float64
+}
+
+// NewTemporalDecoder creates a decoder for one quantity stream.
+func NewTemporalDecoder() *TemporalDecoder { return &TemporalDecoder{} }
+
+// DecompressSnapshot decodes the next snapshot. Keyframes reset the stream
+// state (and carry the topology); delta frames require the preceding
+// frames to have been decoded in order.
+func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, error) {
+	codec, err := compress.Get(c.Codec)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := codec.Decompress(c.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.Keyframe {
+		if len(c.Structure) == 0 {
+			return nil, fmt.Errorf("zmesh: keyframe without topology")
+		}
+		m, err := amr.MeshFromStructure(c.Structure)
+		if err != nil {
+			return nil, err
+		}
+		recipe, err := core.BuildRecipe(m, c.Layout, c.Curve)
+		if err != nil {
+			return nil, err
+		}
+		td.mesh = m
+		td.recipe = recipe
+		td.prevRecon = vals
+	} else {
+		if td.prevRecon == nil {
+			return nil, fmt.Errorf("zmesh: delta frame before any keyframe")
+		}
+		if len(vals) != len(td.prevRecon) {
+			return nil, fmt.Errorf("zmesh: delta frame length %d, stream has %d", len(vals), len(td.prevRecon))
+		}
+		for i := range td.prevRecon {
+			td.prevRecon[i] += vals[i]
+		}
+	}
+	flat, err := td.recipe.Restore(td.prevRecon)
+	if err != nil {
+		return nil, err
+	}
+	levels, err := amr.SplitLevels(td.mesh, flat)
+	if err != nil {
+		return nil, err
+	}
+	return amr.FieldFromLevelArrays(td.mesh, c.FieldName, levels)
+}
+
+// Mesh exposes the topology of the last decoded keyframe.
+func (td *TemporalDecoder) Mesh() *Mesh { return td.mesh }

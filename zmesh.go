@@ -1,0 +1,373 @@
+// Package zmesh is the public API of the zMesh reproduction: error-bounded
+// lossy compression of block-structured AMR data with the paper's level
+// reordering (Luo et al., "zMesh: Exploring Application Characteristics to
+// Improve Lossy Compression Ratio for Adaptive Mesh Refinement", IPDPS'21).
+//
+// The workflow mirrors an AMR application's I/O path:
+//
+//  1. Obtain a checkpoint — run one of the built-in simulations with
+//     Generate, or adapt a hierarchy to your own field with BuildAdaptive.
+//  2. Create an Encoder for the mesh with the desired layout (LayoutZMesh
+//     for the paper's reordering), sibling curve, and codec ("sz"/"zfp").
+//     The encoder derives the restore recipe from the mesh topology once
+//     and reuses it for every quantity.
+//  3. CompressField each quantity. The compressed artifact stores no
+//     permutation: a Decoder rebuilds the identical recipe from the AMR
+//     tree metadata (Mesh.Structure) that applications already persist.
+//
+// See examples/ for runnable end-to-end programs.
+package zmesh
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/amr"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+
+	// Register the built-in codecs.
+	_ "repro/internal/compress/lossless"
+	_ "repro/internal/compress/multilevel"
+	_ "repro/internal/compress/sz"
+	_ "repro/internal/compress/zfp"
+)
+
+// Re-exported substrate types. The aliases let downstream code use the AMR
+// hierarchy, fields and checkpoints through the public package.
+type (
+	// Mesh is a block-structured AMR hierarchy.
+	Mesh = amr.Mesh
+	// Field is one scalar quantity over a mesh.
+	Field = amr.Field
+	// BlockID identifies a block within a mesh.
+	BlockID = amr.BlockID
+	// Checkpoint is a mesh plus one field per physical quantity.
+	Checkpoint = sim.Checkpoint
+	// BuildOptions configures BuildAdaptive.
+	BuildOptions = amr.BuildOptions
+	// GenerateOptions configures Generate.
+	GenerateOptions = sim.CheckpointOptions
+	// Layout selects the serialization order (see the Layout* constants).
+	Layout = core.Layout
+	// Bound is an error-bound request.
+	Bound = compress.Bound
+)
+
+// Layout choices.
+const (
+	// LayoutLevel is the application baseline: level-by-level arrays.
+	LayoutLevel = core.LevelOrder
+	// LayoutSFC orders each level along a space-filling curve, levels kept
+	// separate (the within-level baseline).
+	LayoutSFC = core.SFCWithinLevel
+	// LayoutZMesh is the paper's chained-tree cross-level reordering.
+	LayoutZMesh = core.ZMesh
+	// LayoutZMeshBlock is the block-granularity ablation variant of zMesh.
+	LayoutZMeshBlock = core.ZMeshBlock
+)
+
+// AbsBound bounds the point-wise absolute error.
+func AbsBound(v float64) Bound { return compress.AbsBound(v) }
+
+// RelBound bounds the point-wise error relative to the field's value range.
+func RelBound(v float64) Bound { return compress.RelBound(v) }
+
+// NewMesh creates an AMR mesh (dims 2 or 3, even blockSize, rootDims blocks
+// at level 0).
+func NewMesh(dims, blockSize int, rootDims [3]int) (*Mesh, error) {
+	return amr.NewMesh(dims, blockSize, rootDims)
+}
+
+// NewField allocates a zero field over the mesh.
+func NewField(m *Mesh, name string) *Field { return amr.NewField(m, name) }
+
+// BuildAdaptive constructs a hierarchy adapted to an analytic field.
+func BuildAdaptive(opt BuildOptions, fn func(x, y, z float64) float64) (*Mesh, *Field, error) {
+	return amr.BuildAdaptive(opt, fn)
+}
+
+// SampleField samples another quantity onto an existing hierarchy.
+func SampleField(m *Mesh, name string, fn func(x, y, z float64) float64) *Field {
+	return amr.SampleField(m, name, fn)
+}
+
+// Generate runs a built-in simulation problem ("sod", "sedov", "blast",
+// "kh") and projects it onto an AMR hierarchy, yielding a multi-quantity
+// checkpoint. A zero-valued GenerateOptions selects sensible defaults.
+func Generate(problem string, opt GenerateOptions) (*Checkpoint, error) {
+	def := sim.DefaultCheckpointOptions()
+	if opt.Resolution == 0 {
+		opt.Resolution = def.Resolution
+	}
+	if opt.TScale == 0 {
+		opt.TScale = def.TScale
+	}
+	if opt.BlockSize == 0 {
+		opt.BlockSize = def.BlockSize
+	}
+	if opt.RootDims == ([3]int{}) {
+		opt.RootDims = def.RootDims
+	}
+	if opt.MaxDepth == 0 {
+		opt.MaxDepth = def.MaxDepth
+	}
+	if opt.Threshold == 0 {
+		opt.Threshold = def.Threshold
+	}
+	return sim.GenerateCheckpoint(problem, opt)
+}
+
+// Problems lists the built-in simulation problems.
+func Problems() []string { return sim.Problems() }
+
+// Codecs lists the registered compressors ("sz", "zfp").
+func Codecs() []string { return compress.Codecs() }
+
+// Options configures an Encoder/Decoder.
+type Options struct {
+	// Layout is the serialization order; LayoutZMesh is the paper's method.
+	Layout Layout
+	// Curve orders siblings: "morton" (Z-order), "hilbert", or "rowmajor".
+	Curve string
+	// Codec is the lossy compressor: "sz" or "zfp".
+	Codec string
+}
+
+// DefaultOptions is zMesh with Hilbert sibling order over SZ — the
+// configuration the paper reports the largest gains for.
+func DefaultOptions() Options {
+	return Options{Layout: LayoutZMesh, Curve: "hilbert", Codec: "sz"}
+}
+
+func (o *Options) fillDefaults() {
+	if o.Curve == "" {
+		o.Curve = "hilbert"
+	}
+	if o.Codec == "" {
+		o.Codec = "sz"
+	}
+}
+
+// Compressed is the artifact produced for one field. Note what it does NOT
+// contain: any permutation or index. The layout is undone at decompression
+// time from the mesh topology alone.
+type Compressed struct {
+	FieldName string
+	Layout    Layout
+	Curve     string
+	Codec     string
+	NumValues int
+	Payload   []byte
+}
+
+// Ratio reports the compression ratio (uncompressed float64 bytes over
+// payload bytes).
+func (c *Compressed) Ratio() float64 {
+	return compress.Ratio(c.NumValues, c.Payload)
+}
+
+// Encoder compresses fields of one mesh. Building it derives the restore
+// recipe once; compressing additional quantities reuses it, which is how
+// the recipe cost amortizes (paper's overhead experiment).
+type Encoder struct {
+	opt    Options
+	mesh   *Mesh
+	recipe *core.Recipe
+	codec  compress.Compressor
+}
+
+// NewEncoder derives the recipe for the mesh and layout.
+func NewEncoder(m *Mesh, opt Options) (*Encoder, error) {
+	opt.fillDefaults()
+	recipe, err := core.BuildRecipe(m, opt.Layout, opt.Curve)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := compress.Get(opt.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{opt: opt, mesh: m, recipe: recipe, codec: codec}, nil
+}
+
+// CompressField serializes the field in the encoder's layout and compresses
+// it with the error bound.
+func (e *Encoder) CompressField(f *Field, bound Bound) (*Compressed, error) {
+	return e.compressWith(e.codec, f, bound)
+}
+
+// CompressFields compresses several quantities of the mesh concurrently
+// with a bounded worker pool, preserving input order in the result. All
+// fields share the encoder's recipe (zMesh's amortization), and each
+// worker owns its codec instance, so the pool scales across cores the way
+// a checkpoint writer compressing many variables does. workers <= 0 uses
+// GOMAXPROCS.
+func (e *Encoder) CompressFields(fields []*Field, bound Bound, workers int) ([]*Compressed, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fields) {
+		workers = len(fields)
+	}
+	out := make([]*Compressed, len(fields))
+	errs := make([]error, len(fields))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker codec: implementations keep no cross-call state,
+			// but isolating instances keeps the contract local.
+			codec, err := compress.Get(e.opt.Codec)
+			for idx := range jobs {
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				out[idx], errs[idx] = e.compressWith(codec, fields[idx], bound)
+			}
+		}()
+	}
+	for i := range fields {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("zmesh: field %q: %w", fields[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// compressWith is CompressField with an explicit codec instance.
+func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound) (*Compressed, error) {
+	if f.Mesh() != e.mesh {
+		return nil, fmt.Errorf("zmesh: field %q belongs to a different mesh", f.Name)
+	}
+	flat := amr.Flatten(amr.LevelArrays(f))
+	ordered, err := e.recipe.Apply(flat)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := codec.Compress(ordered, []int{len(ordered)}, bound)
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{
+		FieldName: f.Name,
+		Layout:    e.opt.Layout,
+		Curve:     e.opt.Curve,
+		Codec:     e.opt.Codec,
+		NumValues: len(ordered),
+		Payload:   payload,
+	}, nil
+}
+
+// Decoder decompresses fields back onto a mesh topology. It can be built
+// either from a live mesh or from serialized tree metadata (Structure).
+type Decoder struct {
+	mesh    *Mesh
+	recipes map[recipeKey]*core.Recipe
+}
+
+type recipeKey struct {
+	layout Layout
+	curve  string
+}
+
+// NewDecoder wraps an existing mesh.
+func NewDecoder(m *Mesh) *Decoder {
+	return &Decoder{mesh: m, recipes: make(map[recipeKey]*core.Recipe)}
+}
+
+// NewDecoderFromStructure rebuilds the mesh topology from metadata produced
+// by (*Mesh).Structure — the decompression-side path of the paper, where
+// the recipe is regenerated rather than stored.
+func NewDecoderFromStructure(structure []byte) (*Decoder, error) {
+	m, err := amr.MeshFromStructure(structure)
+	if err != nil {
+		return nil, err
+	}
+	return NewDecoder(m), nil
+}
+
+// Mesh exposes the decoder's mesh (for reading decompressed fields).
+func (d *Decoder) Mesh() *Mesh { return d.mesh }
+
+// DecompressField reverses CompressField, returning a field bound to the
+// decoder's mesh. The reconstruction obeys the bound used at compression.
+func (d *Decoder) DecompressField(c *Compressed) (*Field, error) {
+	key := recipeKey{c.Layout, c.Curve}
+	recipe, ok := d.recipes[key]
+	if !ok {
+		var err error
+		recipe, err = core.BuildRecipe(d.mesh, c.Layout, c.Curve)
+		if err != nil {
+			return nil, err
+		}
+		d.recipes[key] = recipe
+	}
+	codec, err := compress.Get(c.Codec)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := codec.Decompress(c.Payload)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := recipe.Restore(ordered)
+	if err != nil {
+		return nil, err
+	}
+	levels, err := amr.SplitLevels(d.mesh, flat)
+	if err != nil {
+		return nil, err
+	}
+	return amr.FieldFromLevelArrays(d.mesh, c.FieldName, levels)
+}
+
+// Serialize flattens a field in the encoder's layout without compressing —
+// used to measure smoothness of the reordered stream.
+func (e *Encoder) Serialize(f *Field) ([]float64, error) {
+	flat := amr.Flatten(amr.LevelArrays(f))
+	return e.recipe.Apply(flat)
+}
+
+// Smoothness measures, re-exported for evaluation code.
+
+// TotalVariation sums first differences of a stream (lower = smoother).
+func TotalVariation(x []float64) float64 { return metrics.TotalVariation(x) }
+
+// SmoothnessImprovement reports the percent total-variation reduction of
+// reordered vs baseline.
+func SmoothnessImprovement(baseline, reordered []float64) float64 {
+	return metrics.SmoothnessImprovement(baseline, reordered)
+}
+
+// MaxAbsError reports the largest point-wise error between two fields that
+// share a mesh.
+func MaxAbsError(a, b *Field) (float64, error) {
+	fa := amr.Flatten(amr.LevelArrays(a))
+	fb := amr.Flatten(amr.LevelArrays(b))
+	return metrics.MaxAbsError(fa, fb)
+}
+
+// PSNR reports the reconstruction peak signal-to-noise ratio in dB.
+func PSNR(orig, recon *Field) (float64, error) {
+	fa := amr.Flatten(amr.LevelArrays(orig))
+	fb := amr.Flatten(amr.LevelArrays(recon))
+	return metrics.PSNR(fa, fb)
+}
+
+// FieldValues returns the field serialized in the application's native
+// level order (the baseline stream).
+func FieldValues(f *Field) []float64 {
+	return amr.Flatten(amr.LevelArrays(f))
+}

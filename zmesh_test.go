@@ -1,0 +1,218 @@
+package zmesh
+
+import (
+	"math"
+	"testing"
+)
+
+// testCheckpoint builds a small Sedov checkpoint once per test binary.
+var testCk *Checkpoint
+
+func checkpoint(t testing.TB) *Checkpoint {
+	t.Helper()
+	if testCk == nil {
+		ck, err := Generate("sedov", GenerateOptions{
+			Resolution: 64, TScale: 0.5, BlockSize: 8,
+			RootDims: [3]int{2, 2, 1}, MaxDepth: 2, Threshold: 0.35,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCk = ck
+	}
+	return testCk
+}
+
+func TestEndToEndAllConfigs(t *testing.T) {
+	ck := checkpoint(t)
+	dens, _ := ck.Field("dens")
+	bound := RelBound(1e-4)
+	for _, layout := range []Layout{LayoutLevel, LayoutSFC, LayoutZMesh} {
+		for _, codec := range []string{"sz", "zfp"} {
+			enc, err := NewEncoder(ck.Mesh, Options{Layout: layout, Curve: "hilbert", Codec: codec})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", layout, codec, err)
+			}
+			c, err := enc.CompressField(dens, bound)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", layout, codec, err)
+			}
+			if c.Ratio() <= 1 {
+				t.Fatalf("%v/%s: ratio %.2f not > 1", layout, codec, c.Ratio())
+			}
+			dec := NewDecoder(ck.Mesh)
+			got, err := dec.DecompressField(c)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", layout, codec, err)
+			}
+			e, err := MaxAbsError(dens, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb := bound.Absolute(FieldValues(dens))
+			if e > eb {
+				t.Fatalf("%v/%s: max error %g exceeds bound %g", layout, codec, e, eb)
+			}
+		}
+	}
+}
+
+func TestDecoderFromStructure(t *testing.T) {
+	// The round trip the paper describes: compressed payload + tree
+	// metadata, no stored permutation.
+	ck := checkpoint(t)
+	pres, _ := ck.Field("pres")
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := enc.CompressField(pres, RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	structure := ck.Mesh.Structure()
+	dec, err := NewDecoderFromStructure(structure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecompressField(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := FieldValues(pres)
+	recon := FieldValues(got)
+	if len(orig) != len(recon) {
+		t.Fatalf("length mismatch %d vs %d", len(orig), len(recon))
+	}
+	eb := RelBound(1e-3).Absolute(orig)
+	for i := range orig {
+		if math.Abs(orig[i]-recon[i]) > eb {
+			t.Fatalf("value %d: error %g > %g", i, math.Abs(orig[i]-recon[i]), eb)
+		}
+	}
+}
+
+func TestZMeshBeatsLevelOrderForSZ(t *testing.T) {
+	// The headline result at small scale: zMesh layout yields a better SZ
+	// ratio than the native level order on a shock dataset. The gain is
+	// largest at loose bounds (see EXPERIMENTS.md), so test there.
+	ck := checkpoint(t)
+	dens, _ := ck.Field("dens")
+	bound := RelBound(1e-2)
+	ratio := func(layout Layout) float64 {
+		enc, err := NewEncoder(ck.Mesh, Options{Layout: layout, Curve: "hilbert", Codec: "sz"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := enc.CompressField(dens, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Ratio()
+	}
+	rLevel := ratio(LayoutLevel)
+	rZ := ratio(LayoutZMesh)
+	if rZ <= rLevel {
+		t.Fatalf("zMesh ratio %.2f not better than level order %.2f", rZ, rLevel)
+	}
+}
+
+func TestSmoothnessImprovementPositive(t *testing.T) {
+	ck := checkpoint(t)
+	dens, _ := ck.Field("dens")
+	base := FieldValues(dens)
+	enc, err := NewEncoder(ck.Mesh, Options{Layout: LayoutZMesh, Curve: "hilbert", Codec: "sz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := enc.Serialize(dens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := SmoothnessImprovement(base, ordered)
+	if imp <= 0 {
+		t.Fatalf("smoothness improvement %.1f%% not positive", imp)
+	}
+}
+
+func TestEncoderRejectsForeignField(t *testing.T) {
+	ck := checkpoint(t)
+	other, err := NewMesh(2, 8, [3]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := NewField(other, "x")
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.CompressField(foreign, RelBound(1e-3)); err == nil {
+		t.Fatal("foreign field accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{Layout: LayoutZMesh}
+	o.fillDefaults()
+	if o.Curve != "hilbert" || o.Codec != "sz" {
+		t.Fatalf("defaults %+v", o)
+	}
+	d := DefaultOptions()
+	if d.Layout != LayoutZMesh {
+		t.Fatal("default layout")
+	}
+}
+
+func TestGenerateDefaultsAndErrors(t *testing.T) {
+	if _, err := Generate("no-such-problem", GenerateOptions{}); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+	if len(Problems()) == 0 || len(Codecs()) == 0 {
+		t.Fatal("registries empty")
+	}
+}
+
+func TestBuildAdaptivePublic(t *testing.T) {
+	m, f, err := BuildAdaptive(BuildOptions{
+		Dims: 2, BlockSize: 8, RootDims: [3]int{2, 2, 1},
+		MaxDepth: 2, Threshold: 0.4,
+	}, func(x, y, z float64) float64 {
+		return math.Tanh((x - 0.5) / 0.02)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLevel() < 1 {
+		t.Fatal("no refinement")
+	}
+	g := SampleField(m, "second", func(x, y, z float64) float64 { return x * y })
+	if g.Name != "second" {
+		t.Fatal("sample field name")
+	}
+	_ = f
+}
+
+func TestPSNRPublic(t *testing.T) {
+	ck := checkpoint(t)
+	dens, _ := ck.Field("dens")
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := enc.CompressField(dens, RelBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(ck.Mesh).DecompressField(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PSNR(dens, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1e-4 relative bound implies PSNR of at least 80 dB.
+	if p < 80 {
+		t.Fatalf("PSNR %.1f dB below 80", p)
+	}
+}
