@@ -125,6 +125,19 @@ func (c *Compressor) Compress(data []float64, dims []int, bound compress.Bound) 
 // ErrCorrupt is returned for malformed payloads.
 var ErrCorrupt = errors.New("chunked: corrupt payload")
 
+// chunkExtent is the number of values chunk ci must decode to for a stream
+// of n values in chunks of cs.
+func chunkExtent(ci, cs, n int) int {
+	lo := ci * cs
+	if lo >= n {
+		return 0
+	}
+	if n-lo < cs {
+		return n - lo
+	}
+	return cs
+}
+
 // Decompress implements compress.Compressor.
 func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 	rd := buf
@@ -153,21 +166,39 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 		return nil, ErrCorrupt
 	}
 	nChunks64, err := next()
-	if err != nil || nChunks64 > (n64/cs64)+2 {
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	// The chunk count is fully determined by the value count and chunk
+	// size; anything else is a forged frame table.
+	expectChunks := (n64 + cs64 - 1) / cs64
+	if expectChunks == 0 {
+		expectChunks = 1 // empty input still writes one (empty) frame
+	}
+	if nChunks64 != expectChunks {
 		return nil, ErrCorrupt
 	}
 	nChunks := int(nChunks64)
+	n := int(n64)
+	cs := int(cs64)
+	// Hostile chunk lengths must not wrap an int accumulator: cap each
+	// length against the remaining buffer and sum in uint64.
 	lengths := make([]int, nChunks)
-	total := 0
+	var total uint64
 	for i := range lengths {
 		l, err := next()
 		if err != nil {
 			return nil, err
 		}
+		if l > uint64(len(rd)) {
+			return nil, ErrCorrupt
+		}
 		lengths[i] = int(l)
-		total += int(l)
+		total += l
 	}
-	if total > len(rd) {
+	// The chunk payloads must fill the rest of the buffer exactly:
+	// trailing bytes after the last chunk are corruption, not slack.
+	if total != uint64(len(rd)) {
 		return nil, ErrCorrupt
 	}
 	chunks := make([][]byte, nChunks)
@@ -176,17 +207,28 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 		chunks[i] = rd[off : off+l]
 		off += l
 	}
-	out := make([]float64, n64)
+	// Validate chunk shapes before allocating the (possibly huge) output:
+	// every chunk that must carry values needs a non-empty payload, and the
+	// claimed value count must be plausible for the bytes present.
+	for ci := 0; ci < nChunks; ci++ {
+		if expect := chunkExtent(ci, cs, n); (expect > 0) != (len(chunks[ci]) > 0) {
+			return nil, ErrCorrupt
+		}
+	}
+	if err := compress.PlausibleCount(n, len(buf)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := make([]float64, n)
 	errs := make([]error, nChunks)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	cs := int(cs64)
 	for w := 0; w < c.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				if len(chunks[ci]) == 0 {
+				expect := chunkExtent(ci, cs, n)
+				if expect == 0 {
 					continue
 				}
 				vals, err := c.Base.Decompress(chunks[ci])
@@ -194,12 +236,13 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 					errs[ci] = err
 					continue
 				}
-				lo := ci * cs
-				if lo+len(vals) > len(out) {
+				// A chunk decoding to the wrong extent would silently
+				// zero-fill (short) or clobber its neighbour (long).
+				if len(vals) != expect {
 					errs[ci] = ErrCorrupt
 					continue
 				}
-				copy(out[lo:], vals)
+				copy(out[ci*cs:], vals)
 			}
 		}()
 	}

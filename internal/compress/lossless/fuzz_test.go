@@ -1,0 +1,38 @@
+package lossless
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the lossless decoder, seeded with
+// valid round-trip payloads. The decoder must never panic, and a successful
+// decode must be exact for untampered inputs, so any accepted stream stays
+// within the plausible-expansion envelope.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = math.Sqrt(float64(i)) * math.Sin(float64(i)/5)
+	}
+	for _, dims := range [][]int{{256}, {16, 16}, {4, 8, 8}} {
+		if buf, err := c.Compress(data, dims, compress.Bound{}); err == nil {
+			f.Add(buf)
+		}
+	}
+	// Highly compressible payload: constant data stresses the DEFLATE
+	// expansion limit.
+	if buf, err := c.Compress(make([]float64, 4096), []int{4096}, compress.Bound{}); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, err := c.Decompress(buf)
+		if err == nil && len(buf) > 0 && len(out) > compress.MaxExpansion*len(buf) {
+			t.Fatalf("decoded %d values from %d bytes", len(out), len(buf))
+		}
+	})
+}

@@ -114,7 +114,12 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	body, err := io.ReadAll(flate.NewReader(bytes.NewReader(rd)))
+	if err := compress.PlausibleCount(n, len(rd)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// Read at most one byte past the expected length: enough to detect a
+	// stream that is too long without inflating an unbounded DEFLATE bomb.
+	body, err := io.ReadAll(io.LimitReader(flate.NewReader(bytes.NewReader(rd)), int64(n)*8+1))
 	if err != nil {
 		return nil, fmt.Errorf("lossless: %w", err)
 	}

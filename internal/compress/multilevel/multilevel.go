@@ -332,7 +332,7 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	intervals64, err := next()
-	if err != nil || intervals64 < 4 || intervals64%2 != 0 {
+	if err != nil || intervals64 < 4 || intervals64%2 != 0 || intervals64 > 1<<30 {
 		return nil, ErrCorrupt
 	}
 	radius := int(intervals64) / 2
@@ -341,6 +341,9 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 		return nil, err
 	}
 	q := math.Float64frombits(qBits)
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return nil, ErrCorrupt
+	}
 	nUnpred, err := next()
 	if err != nil {
 		return nil, err
@@ -349,7 +352,10 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(len(rd)) < codedLen+8*nUnpred {
+	// Check the section lengths separately: a crafted header could wrap
+	// codedLen+8*nUnpred past the bound and panic the slice expressions.
+	lenRd := uint64(len(rd))
+	if codedLen > lenRd || nUnpred > (lenRd-codedLen)/8 {
 		return nil, ErrCorrupt
 	}
 	codes, err := huffman.DecodeAll(rd[:codedLen])

@@ -243,11 +243,12 @@ func decodeTier(buf []byte) (codes []int, unpred []float64, q float64, radius in
 		}
 		dims[i] = int(d)
 	}
-	if _, err := compress.CheckSize(dims); err != nil {
+	n, err := compress.CheckSize(dims)
+	if err != nil {
 		return fail(ErrCorrupt)
 	}
 	intervals, err := next()
-	if err != nil || intervals < 4 || intervals%2 != 0 {
+	if err != nil || intervals < 4 || intervals%2 != 0 || intervals > 1<<30 {
 		return fail(ErrCorrupt)
 	}
 	qb, err := next()
@@ -255,6 +256,9 @@ func decodeTier(buf []byte) (codes []int, unpred []float64, q float64, radius in
 		return fail(err)
 	}
 	q = math.Float64frombits(qb)
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return fail(ErrCorrupt)
+	}
 	nUnpred, err := next()
 	if err != nil {
 		return fail(err)
@@ -263,12 +267,20 @@ func decodeTier(buf []byte) (codes []int, unpred []float64, q float64, radius in
 	if err != nil {
 		return fail(err)
 	}
-	if uint64(len(rd)) < codedLen+8*nUnpred {
+	// Per-section bounds checks; summing the uint64 lengths first could
+	// wrap and pass, panicking the slice expressions below.
+	lenRd := uint64(len(rd))
+	if codedLen > lenRd || nUnpred > (lenRd-codedLen)/8 {
 		return fail(ErrCorrupt)
 	}
 	codes, err = huffman.DecodeAll(rd[:codedLen])
 	if err != nil {
 		return fail(err)
+	}
+	// recompose walks the full dims geometry; a code stream of any other
+	// length would index out of range.
+	if len(codes) != n {
+		return fail(ErrCorrupt)
 	}
 	unpred = make([]float64, nUnpred)
 	for i := range unpred {

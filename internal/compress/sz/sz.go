@@ -480,7 +480,7 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 		return nil, ErrCorrupt
 	}
 	intervals64, err := next()
-	if err != nil || intervals64 < 4 || intervals64%2 != 0 {
+	if err != nil || intervals64 < 4 || intervals64%2 != 0 || intervals64 > 1<<30 {
 		return nil, ErrCorrupt
 	}
 	radius := int(intervals64) / 2
@@ -489,6 +489,9 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 		return nil, err
 	}
 	eb := math.Float64frombits(ebBits)
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, ErrCorrupt
+	}
 	nUnpred64, err := next()
 	if err != nil {
 		return nil, err
@@ -501,7 +504,11 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(len(rd)) < selLen64+codedLen64+8*nUnpred64 {
+	// Validate each section length against the remaining bytes separately:
+	// summing attacker-controlled uint64s first could wrap past the check
+	// and panic on the slice expressions below.
+	lenRd := uint64(len(rd))
+	if selLen64 > lenRd || codedLen64 > lenRd-selLen64 || nUnpred64 > (lenRd-selLen64-codedLen64)/8 {
 		return nil, ErrCorrupt
 	}
 	selBytes := rd[:selLen64]

@@ -1,0 +1,37 @@
+package zfp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the ZFP decoder, seeded with
+// valid round-trip payloads in 1-D/2-D/3-D. The decoder must never panic
+// and must never report more values than the payload could plausibly
+// encode.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	data := make([]float64, 512)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 7)
+	}
+	for _, dims := range [][]int{{512}, {16, 32}, {8, 8, 8}} {
+		if buf, err := c.Compress(data, dims, compress.AbsBound(1e-4)); err == nil {
+			f.Add(buf)
+		}
+	}
+	// All-zero data exercises the one-bit empty-block path.
+	if buf, err := c.Compress(make([]float64, 64), []int{64}, compress.AbsBound(1e-4)); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, err := c.Decompress(buf)
+		if err == nil && len(buf) > 0 && len(out) > compress.MaxExpansion*len(buf) {
+			t.Fatalf("decoded %d values from %d bytes", len(out), len(buf))
+		}
+	})
+}

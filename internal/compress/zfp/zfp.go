@@ -508,6 +508,11 @@ func (c *Compressor) Decompress(buf []byte) ([]float64, error) {
 	}
 	minexp := minExpOf(eb)
 
+	// Reject element counts the remaining bits cannot possibly encode (an
+	// all-zero block still costs one bit per 4^d values) before allocating.
+	if err := compress.PlausibleCount(n, len(rd)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
 	out := make([]float64, n)
 	r := bitstream.NewReader(rd)
 	switch len(dims) {

@@ -407,6 +407,14 @@ func DecodeAll(data []byte) ([]int, error) {
 	if n64 > 1<<34 {
 		return nil, ErrBadTable
 	}
+	// Every symbol costs at least one bit, so a count exceeding the bits
+	// left in the stream is a forged header — reject it before allocating
+	// the output array.
+	pos := r.BitsRead()
+	totalBits := uint64(len(data)) * 8
+	if n64 > totalBits-pos {
+		return nil, bitstream.ErrShortStream
+	}
 	out := make([]int, n64)
 	if n64 == 0 {
 		return out, nil
@@ -416,8 +424,6 @@ func DecodeAll(data []byte) ([]int, error) {
 	// Switch to direct byte-addressed decoding at the current bit offset.
 	// The bitstream convention is LSB-first within little-endian words, so
 	// stream bit k lives at byte k/8, bit k%8.
-	pos := r.BitsRead()
-	totalBits := uint64(len(data)) * 8
 	peek := func(p uint64, n uint) uint64 {
 		bi := int(p >> 3)
 		shift := p & 7

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/amr"
 	"repro/internal/compress"
+	"repro/internal/compress/container"
 	"repro/internal/core"
 )
 
@@ -83,10 +84,14 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 			return nil, err
 		}
 		te.prevRecon = recon
+		wrapped, err := container.Wrap(te.opt.Codec, len(stream), payload)
+		if err != nil {
+			return nil, err
+		}
 		return &TemporalCompressed{
 			Compressed: Compressed{
 				FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
-				Codec: te.opt.Codec, NumValues: len(stream), Payload: payload,
+				Codec: te.opt.Codec, NumValues: len(stream), Payload: wrapped,
 			},
 			Keyframe:  true,
 			Structure: structure,
@@ -112,10 +117,14 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 	for i := range te.prevRecon {
 		te.prevRecon[i] += dRecon[i]
 	}
+	wrapped, err := container.Wrap(te.opt.Codec, len(stream), payload)
+	if err != nil {
+		return nil, err
+	}
 	return &TemporalCompressed{
 		Compressed: Compressed{
 			FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
-			Codec: te.opt.Codec, NumValues: len(stream), Payload: payload,
+			Codec: te.opt.Codec, NumValues: len(stream), Payload: wrapped,
 		},
 	}, nil
 }
@@ -134,11 +143,15 @@ func NewTemporalDecoder() *TemporalDecoder { return &TemporalDecoder{} }
 // state (and carry the topology); delta frames require the preceding
 // frames to have been decoded in order.
 func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, error) {
-	codec, err := compress.Get(c.Codec)
+	codecName, payload, err := unwrapPayload(&c.Compressed)
 	if err != nil {
 		return nil, err
 	}
-	vals, err := codec.Decompress(c.Payload)
+	codec, err := compress.Get(codecName)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := codec.Decompress(payload)
 	if err != nil {
 		return nil, err
 	}

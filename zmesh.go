@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/amr"
 	"repro/internal/compress"
+	"repro/internal/compress/container"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -161,11 +162,16 @@ type Compressed struct {
 	Curve     string
 	Codec     string
 	NumValues int
-	Payload   []byte
+	// Payload is the codec output wrapped in the self-describing container
+	// envelope (codec name, value count, CRC32-C — see
+	// internal/compress/container). Decoders also accept bare legacy
+	// payloads produced before the envelope existed.
+	Payload []byte
 }
 
 // Ratio reports the compression ratio (uncompressed float64 bytes over
-// payload bytes).
+// payload bytes). The payload includes the container envelope, so the ratio
+// accounts for the full stored artifact.
 func (c *Compressed) Ratio() float64 {
 	return compress.Ratio(c.NumValues, c.Payload)
 }
@@ -213,25 +219,30 @@ func (e *Encoder) CompressFields(fields []*Field, bound Bound, workers int) ([]*
 	if workers > len(fields) {
 		workers = len(fields)
 	}
+	// Per-worker codecs: implementations keep no cross-call state, but
+	// isolating instances keeps the contract local. Instantiate before the
+	// job loop so a registry failure aborts the whole call instead of
+	// surfacing only on the indices an unlucky worker happened to consume.
+	codecs := make([]compress.Compressor, workers)
+	for w := range codecs {
+		codec, err := compress.Get(e.opt.Codec)
+		if err != nil {
+			return nil, err
+		}
+		codecs[w] = codec
+	}
 	out := make([]*Compressed, len(fields))
 	errs := make([]error, len(fields))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(codec compress.Compressor) {
 			defer wg.Done()
-			// Per-worker codec: implementations keep no cross-call state,
-			// but isolating instances keeps the contract local.
-			codec, err := compress.Get(e.opt.Codec)
 			for idx := range jobs {
-				if err != nil {
-					errs[idx] = err
-					continue
-				}
 				out[idx], errs[idx] = e.compressWith(codec, fields[idx], bound)
 			}
-		}()
+		}(codecs[w])
 	}
 	for i := range fields {
 		jobs <- i
@@ -260,20 +271,30 @@ func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound)
 	if err != nil {
 		return nil, err
 	}
+	wrapped, err := container.Wrap(e.opt.Codec, len(ordered), payload)
+	if err != nil {
+		return nil, fmt.Errorf("zmesh: field %q: %w", f.Name, err)
+	}
 	return &Compressed{
 		FieldName: f.Name,
 		Layout:    e.opt.Layout,
 		Curve:     e.opt.Curve,
 		Codec:     e.opt.Codec,
 		NumValues: len(ordered),
-		Payload:   payload,
+		Payload:   wrapped,
 	}, nil
 }
 
 // Decoder decompresses fields back onto a mesh topology. It can be built
 // either from a live mesh or from serialized tree metadata (Structure).
+//
+// A Decoder is safe for concurrent use: the recipe cache is guarded by a
+// read-write mutex, so many goroutines may call DecompressField (across the
+// same or distinct layout/curve keys) on one Decoder.
 type Decoder struct {
-	mesh    *Mesh
+	mesh *Mesh
+
+	mu      sync.RWMutex
 	recipes map[recipeKey]*core.Recipe
 }
 
@@ -301,26 +322,77 @@ func NewDecoderFromStructure(structure []byte) (*Decoder, error) {
 // Mesh exposes the decoder's mesh (for reading decompressed fields).
 func (d *Decoder) Mesh() *Mesh { return d.mesh }
 
+// recipeFor returns the cached restore recipe for a layout/curve pair,
+// building and caching it on first use. Safe for concurrent callers.
+func (d *Decoder) recipeFor(layout Layout, curve string) (*core.Recipe, error) {
+	key := recipeKey{layout, curve}
+	d.mu.RLock()
+	recipe, ok := d.recipes[key]
+	d.mu.RUnlock()
+	if ok {
+		return recipe, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if recipe, ok = d.recipes[key]; ok {
+		return recipe, nil
+	}
+	recipe, err := core.BuildRecipe(d.mesh, layout, curve)
+	if err != nil {
+		return nil, err
+	}
+	d.recipes[key] = recipe
+	return recipe, nil
+}
+
+// unwrapPayload verifies the container envelope of a Compressed and returns
+// the codec name to dispatch on plus the bare codec payload. Envelope
+// metadata must agree with the artifact's own fields; payloads produced
+// before the envelope existed (no magic prefix) pass through unchanged.
+func unwrapPayload(c *Compressed) (codec string, payload []byte, err error) {
+	if !container.IsContainer(c.Payload) {
+		return c.Codec, c.Payload, nil // legacy bare payload
+	}
+	env, err := container.Unwrap(c.Payload)
+	if err != nil {
+		return "", nil, fmt.Errorf("zmesh: field %q: %w", c.FieldName, err)
+	}
+	if c.Codec != "" && env.Codec != c.Codec {
+		return "", nil, fmt.Errorf("zmesh: field %q: envelope codec %q disagrees with metadata %q",
+			c.FieldName, env.Codec, c.Codec)
+	}
+	if c.NumValues != 0 && env.NumValues != c.NumValues {
+		return "", nil, fmt.Errorf("zmesh: field %q: envelope claims %d values, metadata %d",
+			c.FieldName, env.NumValues, c.NumValues)
+	}
+	return env.Codec, env.Payload, nil
+}
+
 // DecompressField reverses CompressField, returning a field bound to the
 // decoder's mesh. The reconstruction obeys the bound used at compression.
+// The container envelope (codec, value count, CRC32-C) is verified before
+// any codec runs; corrupt or truncated payloads fail with an error rather
+// than decoding into silently wrong data. Safe for concurrent use.
 func (d *Decoder) DecompressField(c *Compressed) (*Field, error) {
-	key := recipeKey{c.Layout, c.Curve}
-	recipe, ok := d.recipes[key]
-	if !ok {
-		var err error
-		recipe, err = core.BuildRecipe(d.mesh, c.Layout, c.Curve)
-		if err != nil {
-			return nil, err
-		}
-		d.recipes[key] = recipe
-	}
-	codec, err := compress.Get(c.Codec)
+	recipe, err := d.recipeFor(c.Layout, c.Curve)
 	if err != nil {
 		return nil, err
 	}
-	ordered, err := codec.Decompress(c.Payload)
+	codecName, payload, err := unwrapPayload(c)
 	if err != nil {
 		return nil, err
+	}
+	codec, err := compress.Get(codecName)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := codec.Decompress(payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.NumValues != 0 && len(ordered) != c.NumValues {
+		return nil, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
+			c.FieldName, len(ordered), c.NumValues)
 	}
 	flat, err := recipe.Restore(ordered)
 	if err != nil {
@@ -331,6 +403,44 @@ func (d *Decoder) DecompressField(c *Compressed) (*Field, error) {
 		return nil, err
 	}
 	return amr.FieldFromLevelArrays(d.mesh, c.FieldName, levels)
+}
+
+// DecompressFields decompresses several artifacts concurrently with a
+// bounded worker pool, preserving input order — the decode-side mirror of
+// Encoder.CompressFields, for checkpoint readers restoring many quantities.
+// All workers share the decoder's recipe cache (safe for concurrent use).
+// workers <= 0 uses GOMAXPROCS.
+func (d *Decoder) DecompressFields(cs []*Compressed, workers int) ([]*Field, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cs) {
+		workers = len(cs)
+	}
+	out := make([]*Field, len(cs))
+	errs := make([]error, len(cs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				out[idx], errs[idx] = d.DecompressField(cs[idx])
+			}
+		}()
+	}
+	for i := range cs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("zmesh: field %q: %w", cs[i].FieldName, err)
+		}
+	}
+	return out, nil
 }
 
 // Serialize flattens a field in the encoder's layout without compressing —
