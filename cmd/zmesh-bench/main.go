@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,20 @@ func main() {
 	depth := flag.Int("depth", 4, "maximum AMR refinement depth")
 	problems := flag.String("problems", "", "comma-separated problem subset (default: all)")
 	fields := flag.String("fields", "", "comma-separated field subset (default: dens,pres,velx)")
+	recipeBench := flag.Bool("recipebench", false, "time serial vs parallel recipe construction and write a JSON report")
+	recipeOut := flag.String("recipe-out", "BENCH_recipe.json", "output path for the -recipebench report")
+	workers := flag.Int("workers", 0, "worker count for -recipebench (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *recipeBench {
+		if err := runRecipeBench(*recipeOut, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "zmesh-bench: recipebench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*all && *exp == "" {
+			return
+		}
+	}
 
 	if !*all && *exp == "" {
 		flag.Usage()
@@ -56,4 +70,29 @@ func main() {
 		fmt.Println(tbl.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+// runRecipeBench sweeps recipe construction (serial vs parallel) over
+// layout × curve × depth and writes the trajectory as JSON.
+func runRecipeBench(out string, workers int) error {
+	start := time.Now()
+	report, err := experiments.RunRecipeBench(nil, workers, 3)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, p := range report.Points {
+		fmt.Printf("recipe %-12s %-8s depth=%d cells=%-8d serial=%8.2fms parallel=%8.2fms speedup=%.2fx\n",
+			p.Layout, p.Curve, p.Depth, p.Cells,
+			float64(p.SerialNs)/1e6, float64(p.ParallelNs)/1e6, p.Speedup)
+	}
+	fmt.Printf("(recipebench: %d points, workers=%d, wrote %s in %.1fs)\n\n",
+		len(report.Points), report.Workers, out, time.Since(start).Seconds())
+	return nil
 }

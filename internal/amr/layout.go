@@ -22,6 +22,28 @@ func LevelArrays(f *Field) [][]float64 {
 	return out
 }
 
+// AppendLevelOrder serializes a field into the flat level-order stream
+// (equivalent to Flatten(LevelArrays(f))) without the per-level intermediate
+// arrays, reusing dst's capacity when it suffices. Hot paths (worker pools,
+// temporal streams) call it with a scratch buffer to serialize each quantity
+// without allocating.
+func AppendLevelOrder(dst []float64, f *Field) []float64 {
+	f.Sync()
+	m := f.mesh
+	total := m.NumBlocks() * m.CellsPerBlock()
+	if cap(dst) < total {
+		dst = make([]float64, 0, total)
+	} else {
+		dst = dst[:0]
+	}
+	for level := 0; level <= m.maxLevel; level++ {
+		for _, id := range m.SortedLevel(level) {
+			dst = append(dst, f.data[id]...)
+		}
+	}
+	return dst
+}
+
 // Flatten concatenates per-level arrays into the single stream an
 // application would hand to a 1-D compressor.
 func Flatten(levels [][]float64) []float64 {

@@ -1,0 +1,123 @@
+package amr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// The int32 position-space cap: construction and refinement must reject
+// meshes whose cell positions would wrap, using boundary arithmetic only —
+// none of these cases allocates cell data.
+func TestNewMeshRejectsTooLarge(t *testing.T) {
+	// 32768^2 cells per block x 4 roots = 2^32 cells.
+	if _, err := NewMesh(2, 32768, [3]int{2, 2, 1}); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("got %v, want ErrMeshTooLarge", err)
+	}
+	// 2048^3 = 2^33 cells in one block.
+	if _, err := NewMesh(3, 2048, [3]int{1, 1, 1}); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("got %v, want ErrMeshTooLarge", err)
+	}
+	// Huge root lattice, small blocks: 2^2 * 2^15 * 2^15 = 2^32 cells.
+	if _, err := NewMesh(2, 2, [3]int{1 << 15, 1 << 15, 1}); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("got %v, want ErrMeshTooLarge", err)
+	}
+	// Just inside the cap: 16384^2 * 4 = 2^30 cells (block metadata only).
+	if _, err := NewMesh(2, 16384, [3]int{2, 2, 1}); err != nil {
+		t.Fatalf("in-range mesh rejected: %v", err)
+	}
+}
+
+func TestRefineRejectsTooLarge(t *testing.T) {
+	// 4 roots x 16384^2 cells = 2^30; refining any root pushes past 2^31-1.
+	m, err := NewMesh(2, 16384, [3]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refine(m.Roots()[0]); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("got %v, want ErrMeshTooLarge", err)
+	}
+	if m.NumBlocks() != 4 || m.MaxLevel() != 0 {
+		t.Fatalf("rejected refinement mutated the mesh: %d blocks, maxLevel %d",
+			m.NumBlocks(), m.MaxLevel())
+	}
+}
+
+// A corrupt structure header must fail before NewMesh allocates: the flag
+// section is one bit per block, so a blob of L bytes cannot describe more
+// than 8L blocks.
+func TestStructureRejectsAllocationBomb(t *testing.T) {
+	m, err := NewMesh(2, 8, [3]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := m.Structure()
+
+	// Patch the header to claim a gigantic root lattice. Header layout is
+	// uvarint: magic, dims, blockSize, root[0..2], maxLevel.
+	patch := func(rootDim uint64) []byte {
+		out := append([]byte(nil), blob[:0]...)
+		vals := []uint64{structureMagic, 2, 8, rootDim, rootDim, 1, 0}
+		for _, v := range vals {
+			out = appendUvarint(out, v)
+		}
+		return append(out, 0x00) // one flag byte: 8 blocks at most
+	}
+	for _, dim := range []uint64{1 << 15, 1 << 20, 1 << 30} {
+		if _, err := MeshFromStructure(patch(dim)); !errors.Is(err, ErrBadStructure) {
+			t.Fatalf("root dim %d with one flag byte: got %v, want ErrBadStructure", dim, err)
+		}
+	}
+	// Zero root dims and absurd headers are rejected too.
+	if _, err := MeshFromStructure(patch(0)); !errors.Is(err, ErrBadStructure) {
+		t.Fatalf("zero root dim accepted: %v", err)
+	}
+	// Sanity: the unpatched blob still decodes.
+	if _, err := MeshFromStructure(blob); err != nil {
+		t.Fatalf("genuine blob rejected: %v", err)
+	}
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// AppendLevelOrder must match Flatten(LevelArrays(f)) exactly and reuse the
+// caller's buffer when it is large enough.
+func TestAppendLevelOrder(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		m := buildRandomMesh(21+int64(dims), dims)
+		f := NewField(m, "u")
+		rng := rand.New(rand.NewSource(9))
+		for _, id := range m.Leaves() {
+			d := f.Data(id)
+			for i := range d {
+				d[i] = rng.NormFloat64()
+			}
+		}
+		want := Flatten(LevelArrays(f))
+		got := AppendLevelOrder(nil, f)
+		if len(got) != len(want) {
+			t.Fatalf("dims=%d: %d values, want %d", dims, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dims=%d: differs at %d", dims, i)
+			}
+		}
+		buf := make([]float64, 0, len(want))
+		reused := AppendLevelOrder(buf, f)
+		if &reused[0] != &buf[:1][0] {
+			t.Fatalf("dims=%d: buffer with sufficient capacity not reused", dims)
+		}
+		for i := range want {
+			if reused[i] != want[i] {
+				t.Fatalf("dims=%d: reused-buffer result differs at %d", dims, i)
+			}
+		}
+	}
+}

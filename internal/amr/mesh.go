@@ -22,6 +22,41 @@ const NilBlock BlockID = -1
 // MaxLevels bounds the refinement depth.
 const MaxLevels = 16
 
+// MaxMeshCells bounds the total cell count of a mesh. Stream positions in
+// compression recipes (and BlockIDs) are int32; beyond this the level-order
+// position arithmetic would silently wrap.
+const MaxMeshCells = 1<<31 - 1
+
+// ErrMeshTooLarge is returned when a mesh would exceed MaxMeshCells.
+var ErrMeshTooLarge = errors.New("amr: mesh too large (cell positions exceed int32)")
+
+// checkMeshCells verifies rootDims[0]*rootDims[1]*rootDims[2]*blockSize^dims
+// stays within MaxMeshCells without intermediate overflow.
+func checkMeshCells(dims, blockSize int, rootDims [3]int) error {
+	cells := int64(1)
+	mul := func(f int) bool {
+		if f <= 0 {
+			return false
+		}
+		if cells > MaxMeshCells/int64(f) {
+			return false
+		}
+		cells *= int64(f)
+		return true
+	}
+	for d := 0; d < dims; d++ {
+		if !mul(blockSize) {
+			return ErrMeshTooLarge
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if !mul(rootDims[d]) {
+			return ErrMeshTooLarge
+		}
+	}
+	return nil
+}
+
 // Block is one node of the refinement forest.
 type Block struct {
 	ID       BlockID
@@ -70,6 +105,9 @@ func NewMesh(dims, blockSize int, rootDims [3]int) (*Mesh, error) {
 		if rootDims[d] < 1 {
 			return nil, fmt.Errorf("amr: rootDims[%d] = %d must be >= 1", d, rootDims[d])
 		}
+	}
+	if err := checkMeshCells(dims, blockSize, rootDims); err != nil {
+		return nil, err
 	}
 	m := &Mesh{
 		dims:      dims,
@@ -246,6 +284,9 @@ func (m *Mesh) Refine(id BlockID) error {
 		}
 	}
 	// Create the children.
+	if int64(len(m.blocks)+m.NumChildren())*int64(m.CellsPerBlock()) > MaxMeshCells {
+		return ErrMeshTooLarge
+	}
 	coord := m.blocks[id].Coord
 	for o := 0; o < m.NumChildren(); o++ {
 		off := m.childOffset(o)

@@ -83,6 +83,9 @@ func MeshFromStructure(blob []byte) (*Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
+	if dims64 != 2 && dims64 != 3 {
+		return nil, fmt.Errorf("amr: structure claims %d dims: %w", dims64, ErrBadStructure)
+	}
 	bs64, err := next()
 	if err != nil {
 		return nil, err
@@ -93,11 +96,36 @@ func MeshFromStructure(blob []byte) (*Mesh, error) {
 		if err != nil {
 			return nil, err
 		}
+		if v > MaxMeshCells {
+			return nil, fmt.Errorf("amr: structure root dim %d out of range: %w", v, ErrBadStructure)
+		}
 		root[i] = int(v)
 	}
 	maxLevel64, err := next()
 	if err != nil {
 		return nil, err
+	}
+	if bs64 > MaxMeshCells || maxLevel64 >= MaxLevels {
+		return nil, fmt.Errorf("amr: structure header out of range: %w", ErrBadStructure)
+	}
+	// Every block carries one refinement flag bit, so the remaining bytes
+	// bound the block count the blob can describe. Reject root lattices the
+	// flag section could not cover before allocating the mesh — a corrupt
+	// header must not trigger a multi-gigabyte make().
+	if dims64 == 2 {
+		root[2] = 1
+	}
+	maxBlocks := int64(len(rd)) * 8
+	rootBlocks := int64(1)
+	for d := 0; d < 3; d++ {
+		if root[d] <= 0 {
+			return nil, fmt.Errorf("amr: structure root dim %d: %w", root[d], ErrBadStructure)
+		}
+		if rootBlocks > maxBlocks/int64(root[d]) {
+			return nil, fmt.Errorf("amr: structure claims %dx%dx%d roots with %d flag bytes: %w",
+				root[0], root[1], root[2], len(rd), ErrBadStructure)
+		}
+		rootBlocks *= int64(root[d])
 	}
 	m, err := NewMesh(int(dims64), int(bs64), root)
 	if err != nil {

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 
@@ -102,10 +103,21 @@ func (r *Recipe) Perm() []int32 { return r.perm }
 
 // Apply reorders a level-order stream into the recipe's layout.
 func (r *Recipe) Apply(flat []float64) ([]float64, error) {
+	return r.ApplyTo(nil, flat)
+}
+
+// ApplyTo is Apply with a caller-provided destination: dst is reused when its
+// capacity suffices and allocated otherwise, so hot loops (worker pools,
+// temporal streams) permute without a fresh slice per call. dst must not
+// overlap flat.
+func (r *Recipe) ApplyTo(dst, flat []float64) ([]float64, error) {
 	if len(flat) != r.n {
 		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(flat), r.n)
 	}
-	out := make([]float64, r.n)
+	out, err := r.sizeDst(dst, flat)
+	if err != nil {
+		return nil, err
+	}
 	for t, s := range r.perm {
 		out[t] = flat[s]
 	}
@@ -114,14 +126,56 @@ func (r *Recipe) Apply(flat []float64) ([]float64, error) {
 
 // Restore inverts Apply.
 func (r *Recipe) Restore(ordered []float64) ([]float64, error) {
+	return r.RestoreTo(nil, ordered)
+}
+
+// RestoreTo is Restore with a caller-provided destination, with the same
+// reuse contract as ApplyTo. dst must not overlap ordered.
+func (r *Recipe) RestoreTo(dst, ordered []float64) ([]float64, error) {
 	if len(ordered) != r.n {
 		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(ordered), r.n)
 	}
-	out := make([]float64, r.n)
+	out, err := r.sizeDst(dst, ordered)
+	if err != nil {
+		return nil, err
+	}
 	for t, s := range r.perm {
 		out[s] = ordered[t]
 	}
 	return out, nil
+}
+
+// sizeDst resizes dst to the recipe length, allocating only when the
+// capacity falls short, and rejects a destination that aliases the source
+// (a permutation cannot be computed in place).
+func (r *Recipe) sizeDst(dst, src []float64) ([]float64, error) {
+	if cap(dst) < r.n {
+		return make([]float64, r.n), nil
+	}
+	dst = dst[:r.n]
+	if r.n > 0 && len(src) > 0 && &dst[0] == &src[0] {
+		return nil, fmt.Errorf("core: destination buffer aliases source")
+	}
+	return dst, nil
+}
+
+// MaxCells is the largest cell count a recipe can address: stream positions
+// are stored as int32.
+const MaxCells = math.MaxInt32
+
+// CheckMeshSize reports whether a mesh of numBlocks blocks with
+// cellsPerBlock cells each fits the recipe's int32 position space. Without
+// this guard the level-order position accumulation would silently wrap and
+// produce a corrupt permutation.
+func CheckMeshSize(numBlocks, cellsPerBlock int) error {
+	if numBlocks < 0 || cellsPerBlock <= 0 {
+		return fmt.Errorf("core: invalid mesh size (%d blocks, %d cells/block)", numBlocks, cellsPerBlock)
+	}
+	if numBlocks > MaxCells/cellsPerBlock {
+		return fmt.Errorf("core: mesh too large for recipe: %d blocks of %d cells exceed %d addressable positions",
+			numBlocks, cellsPerBlock, int64(MaxCells))
+	}
+	return nil
 }
 
 // ceilLog2 returns the smallest b with 2^b >= v (v >= 1).
@@ -132,7 +186,11 @@ func ceilLog2(v int) uint {
 	return uint(bits.Len(uint(v - 1)))
 }
 
-// builder carries the traversal state shared by the layout constructions.
+// builder carries the traversal state of the serial reference
+// implementation. It is retained verbatim (append-based emission, comparator
+// sort) as the differential oracle for the span-based parallel builder in
+// parallel.go: the two share no emission or sorting code, so bit-for-bit
+// permutation equality between them is a meaningful check.
 type builder struct {
 	m     *amr.Mesh
 	curve sfc.Curve
@@ -148,6 +206,9 @@ type builder struct {
 func newBuilder(m *amr.Mesh, curveName string) (*builder, error) {
 	curve, err := sfc.New(curveName, m.Dims())
 	if err != nil {
+		return nil, err
+	}
+	if err := CheckMeshSize(m.NumBlocks(), m.CellsPerBlock()); err != nil {
 		return nil, err
 	}
 	b := &builder{
@@ -184,7 +245,17 @@ func (b *builder) cellPos(id amr.BlockID, i, j, k int) int32 {
 
 // BuildRecipe derives the restore recipe for the given layout and sibling
 // curve ("morton", "hilbert" or "rowmajor") from the mesh topology alone.
+// Construction is parallel (see BuildRecipeParallel); the permutation it
+// produces is bit-for-bit identical to BuildRecipeSerial's.
 func BuildRecipe(m *amr.Mesh, layout Layout, curveName string) (*Recipe, error) {
+	return BuildRecipeParallel(m, layout, curveName, 0)
+}
+
+// BuildRecipeSerial is the single-threaded reference builder: a recursive
+// descent appending to one slice, ordering curve keys with a comparison
+// sort. It exists as the differential oracle for BuildRecipeParallel and is
+// not on the hot path.
+func BuildRecipeSerial(m *amr.Mesh, layout Layout, curveName string) (*Recipe, error) {
 	b, err := newBuilder(m, curveName)
 	if err != nil {
 		return nil, err
@@ -413,7 +484,10 @@ type orderEntry struct {
 
 // sortEntries orders by key ascending with a pos tie-break, so equal curve
 // indices (which cannot occur within one level, but keep it total) resolve
-// deterministically.
+// deterministically. This comparator version backs only the serial reference
+// builder; the hot path uses the LSD radix sort in radix.go, which yields
+// the identical order (it is stable, and entries are generated in ascending
+// pos order).
 func sortEntries(entries []orderEntry) {
 	sort.Slice(entries, func(a, b int) bool {
 		if entries[a].key != entries[b].key {

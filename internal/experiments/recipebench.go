@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/amr"
+	"repro/internal/core"
+)
+
+// RecipeBenchPoint is one cell of the recipe-construction sweep: the serial
+// reference builder vs the parallel span builder on the same mesh.
+type RecipeBenchPoint struct {
+	Layout     string  `json:"layout"`
+	Curve      string  `json:"curve"`
+	Depth      int     `json:"depth"`
+	Blocks     int     `json:"blocks"`
+	Cells      int     `json:"cells"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// RecipeBenchReport is the BENCH_recipe.json artefact emitted by
+// `zmesh-bench -recipebench`: the recipe-construction trajectory over
+// layout × curve × depth, with the worker count it ran at.
+type RecipeBenchReport struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Points     []RecipeBenchPoint `json:"points"`
+}
+
+// ringFrontMesh refines along a circular front crossing many root blocks —
+// the footprint a shock-driven regrid produces, and the workload the
+// parallel builder is sized for (many chained trees of uneven depth).
+func ringFrontMesh(depth int) (*amr.Mesh, error) {
+	rd := [3]int{4, 4, 1}
+	m, err := amr.NewMesh(2, 8, rd)
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d < depth; d++ {
+		for _, id := range m.Leaves() {
+			blk := m.Block(id)
+			if blk.Level != d {
+				continue
+			}
+			diag, r := 0.0, 0.0
+			for k := 0; k < 2; k++ {
+				ext := 1.0 / float64(rd[k]<<uint(blk.Level))
+				c := (float64(blk.Coord[k])+0.5)*ext - 0.5
+				diag += ext * ext / 4
+				r += c * c
+			}
+			if math.Abs(math.Sqrt(r)-0.35) < math.Sqrt(diag) {
+				if err := m.Refine(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+func bestOf(reps int, run func() error) (int64, error) {
+	best := int64(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// RunRecipeBench times BuildRecipeSerial against BuildRecipeParallel over
+// layout × curve × depth on ring-front meshes. Zero workers means
+// GOMAXPROCS; reps is the best-of repetition count (min 1).
+func RunRecipeBench(depths []int, workers, reps int) (*RecipeBenchReport, error) {
+	if len(depths) == 0 {
+		depths = []int{2, 3, 4, 5}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	report := &RecipeBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: effWorkers}
+	layouts := []core.Layout{core.LevelOrder, core.SFCWithinLevel, core.ZMesh, core.ZMeshBlock}
+	curves := []string{"hilbert", "morton", "rowmajor"}
+	for _, depth := range depths {
+		m, err := ringFrontMesh(depth)
+		if err != nil {
+			return nil, fmt.Errorf("recipebench: depth %d: %w", depth, err)
+		}
+		for _, layout := range layouts {
+			for _, curve := range curves {
+				serial, err := bestOf(reps, func() error {
+					_, err := core.BuildRecipeSerial(m, layout, curve)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("recipebench: serial %v/%s depth %d: %w", layout, curve, depth, err)
+				}
+				par, err := bestOf(reps, func() error {
+					_, err := core.BuildRecipeParallel(m, layout, curve, workers)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("recipebench: parallel %v/%s depth %d: %w", layout, curve, depth, err)
+				}
+				speedup := 0.0
+				if par > 0 {
+					speedup = float64(serial) / float64(par)
+				}
+				report.Points = append(report.Points, RecipeBenchPoint{
+					Layout: layout.String(), Curve: curve, Depth: depth,
+					Blocks: m.NumBlocks(), Cells: m.NumBlocks() * m.CellsPerBlock(),
+					SerialNs: serial, ParallelNs: par, Speedup: speedup,
+				})
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestRunRecipeBench(t *testing.T) {
+	report, err := RunRecipeBench([]int{1}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", report.Workers)
+	}
+	if len(report.Points) != 12 { // 4 layouts x 3 curves x 1 depth
+		t.Fatalf("%d points, want 12", len(report.Points))
+	}
+	for _, p := range report.Points {
+		if p.Cells <= 0 || p.SerialNs <= 0 || p.ParallelNs <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if p.Layout == "" || p.Curve == "" {
+			t.Fatalf("unlabelled point: %+v", p)
+		}
+	}
+}

@@ -17,6 +17,14 @@ import (
 // lockstep and errors never accumulate beyond the per-snapshot bound).
 // When a regrid changes the topology the encoder falls back to a spatial
 // keyframe, exactly like video codecs at scene cuts.
+//
+// State-machine contract (see DESIGN.md "Temporal stream state machine"):
+// both the encoder and the decoder treat their stream state (recipe,
+// topology, previous reconstruction) as transactional. All validation and
+// fallible work happens on locals; state commits only after the snapshot is
+// fully encoded or decoded. A failed call therefore leaves the stream
+// exactly where it was — the next call retries cleanly instead of wedging
+// or silently corrupting the reconstruction.
 
 // TemporalCompressed is one snapshot of one quantity in a temporal stream.
 type TemporalCompressed struct {
@@ -38,6 +46,11 @@ type TemporalEncoder struct {
 	recipe        *core.Recipe
 	codec         compress.Compressor
 	prevRecon     []float64 // previous reconstruction, layout order
+	// Scratch buffers reused across snapshots so steady-state delta
+	// encoding allocates no full-stream slices.
+	flat   []float64
+	stream []float64
+	delta  []float64
 }
 
 // NewTemporalEncoder creates an encoder for one quantity stream.
@@ -53,22 +66,30 @@ func NewTemporalEncoder(opt Options) (*TemporalEncoder, error) {
 // CompressSnapshot encodes the next snapshot of the stream. The field's
 // mesh may differ from the previous snapshot's (regridding); the encoder
 // detects topology changes via the serialized structure.
+//
+// Encoder state (recipe, topology, reconstruction) commits only after the
+// snapshot is fully encoded: a transient codec or bound error leaves the
+// stream state untouched, and the next call recovers — with a keyframe if
+// nothing has been committed for this topology yet, with a delta against
+// the last successfully encoded snapshot otherwise.
 func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCompressed, error) {
 	m := f.Mesh()
 	structure := m.Structure()
 	sameTopology := te.prevStructure != nil && bytes.Equal(structure, te.prevStructure)
+	recipe := te.recipe
 	if !sameTopology {
-		recipe, err := core.BuildRecipe(m, te.opt.Layout, te.opt.Curve)
+		var err error
+		recipe, err = core.BuildRecipe(m, te.opt.Layout, te.opt.Curve)
 		if err != nil {
 			return nil, err
 		}
-		te.recipe = recipe
-		te.prevStructure = structure
 	}
-	stream, err := te.recipe.Apply(amr.Flatten(amr.LevelArrays(f)))
+	te.flat = amr.AppendLevelOrder(te.flat, f)
+	stream, err := recipe.ApplyTo(te.stream, te.flat)
 	if err != nil {
 		return nil, err
 	}
+	te.stream = stream
 	// Resolve the bound against the field itself so delta frames keep the
 	// caller's point-wise semantics.
 	abs := compress.AbsBound(bound.Absolute(stream))
@@ -83,11 +104,14 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 		if err != nil {
 			return nil, err
 		}
-		te.prevRecon = recon
 		wrapped, err := container.Wrap(te.opt.Codec, len(stream), payload)
 		if err != nil {
 			return nil, err
 		}
+		// Commit: the snapshot is fully encoded.
+		te.recipe = recipe
+		te.prevStructure = structure
+		te.prevRecon = recon
 		return &TemporalCompressed{
 			Compressed: Compressed{
 				FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
@@ -102,7 +126,10 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 		return nil, fmt.Errorf("zmesh: temporal state out of sync (%d vs %d values)",
 			len(te.prevRecon), len(stream))
 	}
-	delta := make([]float64, len(stream))
+	if cap(te.delta) < len(stream) {
+		te.delta = make([]float64, len(stream))
+	}
+	delta := te.delta[:len(stream)]
 	for i := range delta {
 		delta[i] = stream[i] - te.prevRecon[i]
 	}
@@ -114,12 +141,13 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 	if err != nil {
 		return nil, err
 	}
-	for i := range te.prevRecon {
-		te.prevRecon[i] += dRecon[i]
-	}
 	wrapped, err := container.Wrap(te.opt.Codec, len(stream), payload)
 	if err != nil {
 		return nil, err
+	}
+	// Commit: advance the reconstruction only once the frame exists.
+	for i := range te.prevRecon {
+		te.prevRecon[i] += dRecon[i]
 	}
 	return &TemporalCompressed{
 		Compressed: Compressed{
@@ -134,6 +162,15 @@ type TemporalDecoder struct {
 	recipe    *core.Recipe
 	mesh      *Mesh
 	prevRecon []float64
+	// Stream identity, pinned by the last keyframe. Delta frames must match
+	// it exactly; a frame from another stream that happens to have the same
+	// length must be rejected, not silently accumulated.
+	layout    Layout
+	curve     string
+	fieldName string
+	// Scratch buffers reused across snapshots.
+	flat      []float64
+	nextRecon []float64
 }
 
 // NewTemporalDecoder creates a decoder for one quantity stream.
@@ -141,7 +178,13 @@ func NewTemporalDecoder() *TemporalDecoder { return &TemporalDecoder{} }
 
 // DecompressSnapshot decodes the next snapshot. Keyframes reset the stream
 // state (and carry the topology); delta frames require the preceding
-// frames to have been decoded in order.
+// frames to have been decoded in order, and must match the stream identity
+// (layout, curve, field) established by the last keyframe.
+//
+// Decoder state commits only after the snapshot fully decodes: a corrupt
+// frame — even one that passes CRC and codec framing but fails later
+// validation — leaves the stream state untouched, so the stream keeps
+// decoding from where it was.
 func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, error) {
 	codecName, payload, err := unwrapPayload(&c.Compressed)
 	if err != nil {
@@ -155,6 +198,12 @@ func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, er
 	if err != nil {
 		return nil, err
 	}
+	// Same check as Decoder.DecompressField: truncated legacy (bare)
+	// payloads must fail loudly instead of flowing into the reconstruction.
+	if c.NumValues != 0 && len(vals) != c.NumValues {
+		return nil, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
+			c.FieldName, len(vals), c.NumValues)
+	}
 	if c.Keyframe {
 		if len(c.Structure) == 0 {
 			return nil, fmt.Errorf("zmesh: keyframe without topology")
@@ -167,29 +216,69 @@ func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, er
 		if err != nil {
 			return nil, err
 		}
+		flat, err := recipe.RestoreTo(td.flat, vals)
+		if err != nil {
+			return nil, err
+		}
+		td.flat = flat
+		levels, err := amr.SplitLevels(m, flat)
+		if err != nil {
+			return nil, err
+		}
+		f, err := amr.FieldFromLevelArrays(m, c.FieldName, levels)
+		if err != nil {
+			return nil, err
+		}
+		// Commit: the keyframe decoded end to end; it resets the stream.
 		td.mesh = m
 		td.recipe = recipe
 		td.prevRecon = vals
-	} else {
-		if td.prevRecon == nil {
-			return nil, fmt.Errorf("zmesh: delta frame before any keyframe")
-		}
-		if len(vals) != len(td.prevRecon) {
-			return nil, fmt.Errorf("zmesh: delta frame length %d, stream has %d", len(vals), len(td.prevRecon))
-		}
-		for i := range td.prevRecon {
-			td.prevRecon[i] += vals[i]
-		}
+		td.layout = c.Layout
+		td.curve = c.Curve
+		td.fieldName = c.FieldName
+		return f, nil
 	}
-	flat, err := td.recipe.Restore(td.prevRecon)
+	// Delta frame: validate against the stream identity first.
+	if td.prevRecon == nil {
+		return nil, fmt.Errorf("zmesh: delta frame before any keyframe")
+	}
+	if c.Layout != td.layout || c.Curve != td.curve {
+		return nil, fmt.Errorf("zmesh: delta frame layout %v/%s does not match stream keyframe %v/%s",
+			c.Layout, c.Curve, td.layout, td.curve)
+	}
+	if c.FieldName != td.fieldName {
+		return nil, fmt.Errorf("zmesh: delta frame for field %q on a stream of %q",
+			c.FieldName, td.fieldName)
+	}
+	if len(vals) != len(td.prevRecon) {
+		return nil, fmt.Errorf("zmesh: delta frame length %d, stream has %d", len(vals), len(td.prevRecon))
+	}
+	// Accumulate into a candidate buffer; prevRecon stays untouched until
+	// the frame fully decodes.
+	if cap(td.nextRecon) < len(vals) {
+		td.nextRecon = make([]float64, len(vals))
+	}
+	next := td.nextRecon[:len(vals)]
+	for i := range next {
+		next[i] = td.prevRecon[i] + vals[i]
+	}
+	flat, err := td.recipe.RestoreTo(td.flat, next)
 	if err != nil {
 		return nil, err
 	}
+	td.flat = flat
 	levels, err := amr.SplitLevels(td.mesh, flat)
 	if err != nil {
 		return nil, err
 	}
-	return amr.FieldFromLevelArrays(td.mesh, c.FieldName, levels)
+	f, err := amr.FieldFromLevelArrays(td.mesh, c.FieldName, levels)
+	if err != nil {
+		return nil, err
+	}
+	// Commit: swap the candidate in; the old buffer becomes next call's
+	// scratch, so steady-state delta decoding allocates no stream slices.
+	td.prevRecon, td.nextRecon = next, td.prevRecon
+	return f, nil
 }
 
 // Mesh exposes the topology of the last decoded keyframe.

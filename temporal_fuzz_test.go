@@ -1,0 +1,83 @@
+package zmesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amr"
+)
+
+// FuzzDecompressSnapshot throws mutated temporal frames at the decoder,
+// seeded from a real keyframe + delta pair. Two invariants: the decoder
+// never panics, and a rejected frame never disturbs the stream state — a
+// genuine delta must still decode after any number of rejected inputs.
+func FuzzDecompressSnapshot(f *testing.F) {
+	mesh, err := amr.NewMesh(2, 4, [3]int{1, 1, 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := mesh.Refine(mesh.Roots()[0]); err != nil {
+		f.Fatal(err)
+	}
+	snap := func(phase float64) *Field {
+		fld := amr.NewField(mesh, "u")
+		fld.FillFunc(func(x, y, z float64) float64 {
+			return math.Sin(6*x+phase) * math.Cos(6*y)
+		})
+		return fld
+	}
+	enc, err := NewTemporalEncoder(DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	bound := AbsBound(1e-3)
+	key, err := enc.CompressSnapshot(snap(0), bound)
+	if err != nil {
+		f.Fatal(err)
+	}
+	delta, err := enc.CompressSnapshot(snap(0.1), bound)
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodEnc, err := NewTemporalEncoder(DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := goodEnc.CompressSnapshot(snap(0), bound); err != nil {
+		f.Fatal(err)
+	}
+	goodDelta, err := goodEnc.CompressSnapshot(snap(0.05), bound)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(true, key.Payload, key.Structure)
+	f.Add(false, delta.Payload, delta.Structure)
+	f.Add(false, key.Payload, []byte{})
+	f.Add(true, delta.Payload, key.Structure)
+	f.Add(true, []byte{}, []byte{0, 1, 2})
+	f.Add(false, []byte{0xff, 0xff}, []byte(nil))
+
+	f.Fuzz(func(t *testing.T, keyframe bool, payload, structure []byte) {
+		dec := NewTemporalDecoder()
+		if _, err := dec.DecompressSnapshot(key); err != nil {
+			t.Fatal(err)
+		}
+		frame := &TemporalCompressed{
+			Compressed: Compressed{
+				FieldName: key.FieldName, Layout: key.Layout, Curve: key.Curve,
+				Codec: key.Codec, NumValues: key.NumValues, Payload: payload,
+			},
+			Keyframe:  keyframe,
+			Structure: structure,
+		}
+		if _, err := dec.DecompressSnapshot(frame); err == nil {
+			// The mutation happened to produce a decodable frame; the
+			// state-preservation invariant only applies to rejected frames.
+			return
+		}
+		if _, err := dec.DecompressSnapshot(goodDelta); err != nil {
+			t.Fatalf("rejected frame corrupted decoder state: %v", err)
+		}
+	})
+}

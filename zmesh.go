@@ -239,8 +239,12 @@ func (e *Encoder) CompressFields(fields []*Field, bound Bound, workers int) ([]*
 		wg.Add(1)
 		go func(codec compress.Compressor) {
 			defer wg.Done()
+			// Per-worker scratch: the level-order and reordered streams are
+			// reused across this worker's fields, so the pool allocates two
+			// stream buffers per worker instead of two per field.
+			var scratch encodeScratch
 			for idx := range jobs {
-				out[idx], errs[idx] = e.compressWith(codec, fields[idx], bound)
+				out[idx], errs[idx] = e.compressInto(codec, fields[idx], bound, &scratch)
 			}
 		}(codecs[w])
 	}
@@ -257,16 +261,30 @@ func (e *Encoder) CompressFields(fields []*Field, bound Bound, workers int) ([]*
 	return out, nil
 }
 
+// encodeScratch carries the reusable stream buffers of one compression
+// worker.
+type encodeScratch struct {
+	flat    []float64
+	ordered []float64
+}
+
 // compressWith is CompressField with an explicit codec instance.
 func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound) (*Compressed, error) {
+	return e.compressInto(codec, f, bound, &encodeScratch{})
+}
+
+// compressInto is compressWith with caller-owned scratch buffers; the
+// buffers are grown once and reused across calls.
+func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound, scratch *encodeScratch) (*Compressed, error) {
 	if f.Mesh() != e.mesh {
 		return nil, fmt.Errorf("zmesh: field %q belongs to a different mesh", f.Name)
 	}
-	flat := amr.Flatten(amr.LevelArrays(f))
-	ordered, err := e.recipe.Apply(flat)
+	scratch.flat = amr.AppendLevelOrder(scratch.flat, f)
+	ordered, err := e.recipe.ApplyTo(scratch.ordered, scratch.flat)
 	if err != nil {
 		return nil, err
 	}
+	scratch.ordered = ordered
 	payload, err := codec.Compress(ordered, []int{len(ordered)}, bound)
 	if err != nil {
 		return nil, err
@@ -374,35 +392,45 @@ func unwrapPayload(c *Compressed) (codec string, payload []byte, err error) {
 // any codec runs; corrupt or truncated payloads fail with an error rather
 // than decoding into silently wrong data. Safe for concurrent use.
 func (d *Decoder) DecompressField(c *Compressed) (*Field, error) {
+	f, _, err := d.decompressInto(c, nil)
+	return f, err
+}
+
+// decompressInto is DecompressField with a caller-owned scratch buffer for
+// the restored level-order stream; it returns the (possibly grown) buffer
+// for reuse. The returned field owns its data — the scratch may be reused
+// immediately.
+func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []float64, error) {
 	recipe, err := d.recipeFor(c.Layout, c.Curve)
 	if err != nil {
-		return nil, err
+		return nil, flatBuf, err
 	}
 	codecName, payload, err := unwrapPayload(c)
 	if err != nil {
-		return nil, err
+		return nil, flatBuf, err
 	}
 	codec, err := compress.Get(codecName)
 	if err != nil {
-		return nil, err
+		return nil, flatBuf, err
 	}
 	ordered, err := codec.Decompress(payload)
 	if err != nil {
-		return nil, err
+		return nil, flatBuf, err
 	}
 	if c.NumValues != 0 && len(ordered) != c.NumValues {
-		return nil, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
+		return nil, flatBuf, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
 			c.FieldName, len(ordered), c.NumValues)
 	}
-	flat, err := recipe.Restore(ordered)
+	flat, err := recipe.RestoreTo(flatBuf, ordered)
 	if err != nil {
-		return nil, err
+		return nil, flatBuf, err
 	}
 	levels, err := amr.SplitLevels(d.mesh, flat)
 	if err != nil {
-		return nil, err
+		return nil, flat, err
 	}
-	return amr.FieldFromLevelArrays(d.mesh, c.FieldName, levels)
+	f, err := amr.FieldFromLevelArrays(d.mesh, c.FieldName, levels)
+	return f, flat, err
 }
 
 // DecompressFields decompresses several artifacts concurrently with a
@@ -425,8 +453,10 @@ func (d *Decoder) DecompressFields(cs []*Compressed, workers int) ([]*Field, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch for the restored stream (see decompressInto).
+			var flat []float64
 			for idx := range jobs {
-				out[idx], errs[idx] = d.DecompressField(cs[idx])
+				out[idx], flat, errs[idx] = d.decompressInto(cs[idx], flat)
 			}
 		}()
 	}
