@@ -1,0 +1,79 @@
+// Command zmesh-ci is the benchmark-regression gate run in CI. It measures
+// a fixed workload (recipe construction, compress/decompress, and the
+// deterministic ratio table) and compares it against the committed baseline,
+// failing the build when throughput regresses beyond -max-slowdown or any
+// compression ratio drops beyond -max-ratio-drop.
+//
+// Throughput is compared as a *normalized score* — workload time divided by
+// a machine-speed reference workload timed in the same process — so the
+// committed baseline transfers across runners: slower hardware cancels out,
+// a code regression does not.
+//
+//	zmesh-ci                       # check against BENCH_baseline.json
+//	zmesh-ci -update               # regenerate the baseline in place
+//	zmesh-ci -max-slowdown 0.15 -max-ratio-drop 0.01
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline path")
+	update := flag.Bool("update", false, "measure and rewrite the baseline instead of checking")
+	maxSlowdown := flag.Float64("max-slowdown", 0.15, "maximum allowed throughput regression (fraction)")
+	maxRatioDrop := flag.Float64("max-ratio-drop", 0.01, "maximum allowed compression-ratio drop (fraction)")
+	reps := flag.Int("reps", 5, "best-of repetition count")
+	flag.Parse()
+
+	if err := run(*baselinePath, *update, *maxSlowdown, *maxRatioDrop, *reps); err != nil {
+		fmt.Fprintf(os.Stderr, "zmesh-ci: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, update bool, maxSlowdown, maxRatioDrop float64, reps int) error {
+	fmt.Printf("measuring gate workload (best of %d)...\n", reps)
+	current, err := report.MeasureCIGate(reps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.FormatCIMeasurement(current))
+
+	if update {
+		buf, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline updated: %s\n", baselinePath)
+		return nil
+	}
+
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run `zmesh-ci -update` to create it): %w", err)
+	}
+	var baseline report.CIMeasurement
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	violations := report.CompareCIGate(&baseline, current, maxSlowdown, maxRatioDrop)
+	if len(violations) > 0 {
+		fmt.Printf("\nFAIL: %d gate violation(s) vs %s:\n", len(violations), baselinePath)
+		for _, v := range violations {
+			fmt.Printf("  - %s\n", v)
+		}
+		return fmt.Errorf("benchmark regression gate failed")
+	}
+	fmt.Printf("\nOK: within budgets of %s (slowdown <= %.0f%%, ratio drop <= %.1f%%)\n",
+		baselinePath, maxSlowdown*100, maxRatioDrop*100)
+	return nil
+}

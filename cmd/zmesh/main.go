@@ -149,6 +149,8 @@ func cmdCompress(args []string) error {
 	codec := fs.String("codec", "sz", "compressor: sz | zfp")
 	rel := fs.Float64("rel", 0, "relative error bound (fraction of value range)")
 	abs := fs.Float64("abs", 0, "absolute error bound")
+	metricsAddr := fs.String("metricsaddr", "", "serve expvar + pprof telemetry on this address (e.g. localhost:6060)")
+	stats := fs.Bool("stats", false, "dump a telemetry JSON snapshot to stderr when done")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,6 +172,14 @@ func cmdCompress(args []string) error {
 	enc, err := zmesh.NewEncoder(m, zmesh.Options{Layout: layout, Curve: *curve, Codec: *codec})
 	if err != nil {
 		return err
+	}
+	reg, flushStats, err := setupTelemetry(*metricsAddr, *stats)
+	if err != nil {
+		return err
+	}
+	defer flushStats()
+	if reg != nil {
+		enc.Instrument(reg)
 	}
 	arch := &dataset.ArchiveFile{Problem: file.Problem, Structure: file.Structure}
 	var rawBytes, compBytes int
@@ -205,6 +215,8 @@ func cmdDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("i", "", "input archive (required)")
 	out := fs.String("o", "", "output checkpoint (required)")
+	metricsAddr := fs.String("metricsaddr", "", "serve expvar + pprof telemetry on this address (e.g. localhost:6060)")
+	stats := fs.Bool("stats", false, "dump a telemetry JSON snapshot to stderr when done")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,6 +230,14 @@ func cmdDecompress(args []string) error {
 	dec, err := zmesh.NewDecoderFromStructure(arch.Structure)
 	if err != nil {
 		return err
+	}
+	reg, flushStats, err := setupTelemetry(*metricsAddr, *stats)
+	if err != nil {
+		return err
+	}
+	defer flushStats()
+	if reg != nil {
+		dec.Instrument(reg)
 	}
 	file := &dataset.CheckpointFile{Problem: arch.Problem, Structure: arch.Structure}
 	for _, cf := range arch.Fields {

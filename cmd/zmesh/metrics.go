@@ -1,0 +1,60 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	zmesh "repro"
+)
+
+// setupTelemetry wires the opt-in observability of the compress/decompress
+// commands. When addr is non-empty it serves expvar (/debug/vars, including
+// the published "zmesh" registry) and net/http/pprof (/debug/pprof/) on that
+// address for the lifetime of the process. The returned flush dumps a JSON
+// snapshot of the registry to stderr when stats is set. Both addr=="" and
+// stats==false yields a nil registry, i.e. the pipeline stays entirely
+// uninstrumented.
+func setupTelemetry(addr string, stats bool) (*zmesh.Registry, func(), error) {
+	if addr == "" && !stats {
+		return nil, func() {}, nil
+	}
+	reg := zmesh.NewRegistry()
+	zmesh.PublishMetrics("zmesh", reg)
+	if addr != "" {
+		bound, err := startMetricsServer(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "zmesh: serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", bound)
+	}
+	flush := func() {
+		if stats {
+			if err := zmesh.WriteMetricsJSON(os.Stderr, reg); err == nil {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return reg, flush, nil
+}
+
+// startMetricsServer serves expvar and pprof on addr for the lifetime of
+// the process and returns the bound address (useful with ":0").
+func startMetricsServer(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metricsaddr: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestMetricsServer covers the -metricsaddr plumbing end to end: a
+// published registry must be readable as the "zmesh" expvar on /debug/vars
+// of the started server, and the pprof index must respond.
+func TestMetricsServer(t *testing.T) {
+	reg, flush, err := setupTelemetry("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flush()
+	if reg == nil {
+		t.Fatal("setupTelemetry returned nil registry with an address set")
+	}
+	reg.Counter("encode.fields").Add(7)
+
+	// setupTelemetry logs the bound address to stderr; re-bind a second
+	// server directly to get a readable address for the probe.
+	addr, err := startMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Zmesh struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"zmesh"`
+	}
+	if err := json.Unmarshal(buf, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, buf)
+	}
+	if got := vars.Zmesh.Counters["encode.fields"]; got != 7 {
+		t.Fatalf("expvar zmesh.counters[encode.fields] = %d, want 7", got)
+	}
+
+	pp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index returned %d", pp.StatusCode)
+	}
+
+	// No address and no stats: the pipeline must stay uninstrumented.
+	none, flushNone, err := setupTelemetry("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushNone()
+	if none != nil {
+		t.Fatal("setupTelemetry without address or stats must return a nil registry")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/amr"
 	"repro/internal/sfc"
@@ -37,9 +38,11 @@ type buildContext struct {
 	cpb       int
 	bs        int
 	kmax      int
+	met       *recipeMetrics // nil unless BuildRecipeObserved
 }
 
-func newBuildContext(m *amr.Mesh, curveName string) (*buildContext, error) {
+func newBuildContext(m *amr.Mesh, curveName string, met *recipeMetrics) (*buildContext, error) {
+	t0 := met.now()
 	if _, err := sfc.New(curveName, m.Dims()); err != nil {
 		return nil, err
 	}
@@ -52,6 +55,7 @@ func newBuildContext(m *amr.Mesh, curveName string) (*buildContext, error) {
 		cpb:       m.CellsPerBlock(),
 		bs:        m.BlockSize(),
 		kmax:      1,
+		met:       met,
 	}
 	if m.Dims() == 3 {
 		ctx.kmax = ctx.bs
@@ -66,6 +70,9 @@ func newBuildContext(m *amr.Mesh, curveName string) (*buildContext, error) {
 			ctx.blockBase[id] = pos
 			pos += int32(ctx.cpb)
 		}
+	}
+	if met != nil {
+		met.setup.Since(t0)
 	}
 	return ctx, nil
 }
@@ -140,6 +147,7 @@ func (w *spanWriter) cellFromCurve(idx uint64) (i, j, k int) {
 
 // runTree emits the chained tree rooted at root into span.
 func (w *spanWriter) runTree(layout Layout, root amr.BlockID, span []int32) error {
+	t0 := w.ctx.met.now()
 	w.out, w.next = span, 0
 	switch layout {
 	case ZMesh:
@@ -155,6 +163,9 @@ func (w *spanWriter) runTree(layout Layout, root amr.BlockID, span []int32) erro
 	}
 	if w.next != len(span) {
 		return fmt.Errorf("core: tree at root %d emitted %d of %d cells", root, w.next, len(span))
+	}
+	if m := w.ctx.met; m != nil {
+		m.descent.Since(t0)
 	}
 	return nil
 }
@@ -213,6 +224,7 @@ func (w *spanWriter) emitBlockChained(id amr.BlockID) {
 // runLevel emits one level's cells in curve order into span
 // (the SFCWithinLevel layout).
 func (w *spanWriter) runLevel(level int, span []int32) error {
+	t0 := w.ctx.met.now()
 	m := w.ctx.m
 	cellDims := m.LevelCellDims(level)
 	maxDim := cellDims[0]
@@ -249,9 +261,21 @@ func (w *spanWriter) runLevel(level int, span []int32) error {
 	if cap(w.scratch) < len(w.entries) {
 		w.scratch = make([]orderEntry, len(w.entries))
 	}
+	met := w.ctx.met
+	if met != nil {
+		met.descent.Since(t0)
+		t0 = time.Now()
+	}
 	radixSortEntries(w.entries, w.scratch[:cap(w.scratch)])
+	if met != nil {
+		met.sort.Since(t0)
+		t0 = time.Now()
+	}
 	for t, e := range w.entries {
 		span[t] = e.pos
+	}
+	if met != nil {
+		met.descent.Since(t0)
 	}
 	return nil
 }
@@ -259,6 +283,7 @@ func (w *spanWriter) runLevel(level int, span []int32) error {
 // sortedRootsFast orders the root blocks along the curve over the root
 // lattice using the radix sort.
 func (ctx *buildContext) sortedRootsFast() ([]amr.BlockID, error) {
+	t0 := ctx.met.now()
 	m := ctx.m
 	curve, err := sfc.New(ctx.curveName, m.Dims())
 	if err != nil {
@@ -292,6 +317,9 @@ func (ctx *buildContext) sortedRootsFast() ([]amr.BlockID, error) {
 	for i, e := range entries {
 		out[i] = amr.BlockID(e.pos)
 	}
+	if ctx.met != nil {
+		ctx.met.sort.Since(t0)
+	}
 	return out, nil
 }
 
@@ -299,7 +327,11 @@ func (ctx *buildContext) sortedRootsFast() ([]amr.BlockID, error) {
 // workers <= 0 uses GOMAXPROCS. Any worker count (including 1) produces the
 // identical permutation: partitioning is by topology, not by scheduling.
 func BuildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers int) (*Recipe, error) {
-	ctx, err := newBuildContext(m, curveName)
+	return buildRecipeParallel(m, layout, curveName, workers, nil)
+}
+
+func buildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers int, met *recipeMetrics) (*Recipe, error) {
+	ctx, err := newBuildContext(m, curveName, met)
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +352,10 @@ func BuildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers i
 	}
 	if err != nil {
 		return nil, err
+	}
+	if met != nil {
+		met.builds.Inc()
+		met.cells.Add(int64(n))
 	}
 	return &Recipe{layout: layout, curve: curveName, n: n, perm: perm}, nil
 }
@@ -381,6 +417,7 @@ func (ctx *buildContext) buildTreesParallel(perm []int32, layout Layout, workers
 	if err != nil {
 		return err
 	}
+	t0 := ctx.met.now()
 	spans := make([][]int32, len(roots))
 	off := 0
 	for i, id := range roots {
@@ -390,6 +427,9 @@ func (ctx *buildContext) buildTreesParallel(perm []int32, layout Layout, workers
 	}
 	if off != len(perm) {
 		return fmt.Errorf("core: root spans cover %d of %d cells", off, len(perm))
+	}
+	if ctx.met != nil {
+		ctx.met.setup.Since(t0)
 	}
 	return ctx.runSpans(len(roots), workers, func(w *spanWriter, i int) error {
 		return w.runTree(layout, roots[i], spans[i])

@@ -130,3 +130,7 @@ func RunRecipeBench(depths []int, workers, reps int) (*RecipeBenchReport, error)
 	}
 	return report, nil
 }
+
+// RingFrontMesh exposes the ring-front regrid workload to sibling packages
+// (the internal/report CI gate measures recipe construction on it).
+func RingFrontMesh(depth int) (*amr.Mesh, error) { return ringFrontMesh(depth) }

@@ -1,0 +1,246 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// bestOf times reps runs of fn and returns the fastest.
+func bestOf(reps int, run func() error) (int64, error) {
+	best := int64(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// CIGateVersion is bumped when the gate's workload or scoring changes, so a
+// stale committed baseline is rejected instead of silently compared.
+const CIGateVersion = 1
+
+// CIMeasurement is one run of the CI quality gate's fixed workload. The
+// throughput numbers are stored as *scores* — workload time divided by the
+// time of a machine-speed reference workload measured in the same process —
+// so a baseline committed from one machine transfers to another: a code
+// regression moves the score, a slower runner does not (both numerator and
+// denominator scale together).
+type CIMeasurement struct {
+	Version int `json:"version"`
+	Reps    int `json:"reps"`
+
+	ReferenceNs  int64 `json:"reference_ns"`
+	RecipeNs     int64 `json:"recipe_ns"`
+	CompressNs   int64 `json:"compress_ns"`
+	DecompressNs int64 `json:"decompress_ns"`
+
+	RecipeScore     float64 `json:"recipe_score"`
+	CompressScore   float64 `json:"compress_score"`
+	DecompressScore float64 `json:"decompress_score"`
+
+	// Ratios maps "layout/curve/codec" to the achieved compression ratio on
+	// the fixed dataset. Compression is deterministic, so these compare
+	// exactly across machines.
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+// ciConfig is the gate's fixed dataset: small enough to run in seconds,
+// structured enough (shock front, multi-level refinement) that layout and
+// codec changes move the ratio.
+func ciConfig() experiments.Config {
+	return experiments.Config{
+		Problems:   []string{"sedov"},
+		Fields:     []string{"dens", "pres"},
+		Resolution: 64,
+		BlockSize:  8,
+		RootDims:   [3]int{2, 2, 1},
+		MaxDepth:   3,
+		Threshold:  0.35,
+		Bounds:     []float64{1e-4},
+	}
+}
+
+// referenceWorkloadNs times a fixed pure-Go workload (xorshift fill + sort)
+// that exercises none of the gated code. It is the machine-speed denominator
+// for the throughput scores.
+func referenceWorkloadNs(reps int) int64 {
+	const n = 1 << 16
+	vals := make([]uint64, n)
+	best, _ := bestOf(reps, func() error {
+		x := uint64(0x9e3779b97f4a7c15)
+		for i := range vals {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			vals[i] = x
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return nil
+	})
+	return best
+}
+
+// MeasureCIGate runs the gate workload (best-of-reps) and returns the
+// measurement: recipe construction on a ring-front mesh, compress/decompress
+// of a sedov field over SZ, and the deterministic ratio table over
+// layout × codec.
+func MeasureCIGate(reps int) (*CIMeasurement, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	m := &CIMeasurement{Version: CIGateVersion, Reps: reps, Ratios: make(map[string]float64)}
+	m.ReferenceNs = referenceWorkloadNs(reps)
+	if m.ReferenceNs <= 0 {
+		return nil, fmt.Errorf("cigate: reference workload measured %dns", m.ReferenceNs)
+	}
+
+	ring, err := experiments.RingFrontMesh(4)
+	if err != nil {
+		return nil, fmt.Errorf("cigate: ring mesh: %w", err)
+	}
+	m.RecipeNs, err = bestOf(reps, func() error {
+		_, err := core.BuildRecipeParallel(ring, core.ZMesh, "hilbert", 0)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cigate: recipe: %w", err)
+	}
+
+	suite := experiments.NewSuite(ciConfig())
+	ck, err := suite.Checkpoint("sedov")
+	if err != nil {
+		return nil, err
+	}
+	dens, ok := ck.Field("dens")
+	if !ok {
+		return nil, fmt.Errorf("cigate: dens missing from sedov checkpoint")
+	}
+	enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{Layout: core.ZMesh, Curve: "hilbert", Codec: "sz"})
+	if err != nil {
+		return nil, err
+	}
+	bound := zmesh.RelBound(1e-4)
+	var artifact *zmesh.Compressed
+	m.CompressNs, err = bestOf(reps, func() error {
+		c, err := enc.CompressField(dens, bound)
+		artifact = c
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cigate: compress: %w", err)
+	}
+	dec := zmesh.NewDecoder(ck.Mesh)
+	m.DecompressNs, err = bestOf(reps, func() error {
+		_, err := dec.DecompressField(artifact)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cigate: decompress: %w", err)
+	}
+
+	ref := float64(m.ReferenceNs)
+	m.RecipeScore = float64(m.RecipeNs) / ref
+	m.CompressScore = float64(m.CompressNs) / ref
+	m.DecompressScore = float64(m.DecompressNs) / ref
+
+	// Deterministic ratio table over layout × codec (hilbert curve),
+	// aggregated across the config's fields.
+	for _, layout := range []core.Layout{core.LevelOrder, core.SFCWithinLevel, core.ZMesh, core.ZMeshBlock} {
+		for _, codec := range []string{"sz", "zfp"} {
+			enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{Layout: layout, Curve: "hilbert", Codec: codec})
+			if err != nil {
+				return nil, err
+			}
+			var raw, comp int64
+			for _, name := range suite.Cfg.Fields {
+				f, ok := ck.Field(name)
+				if !ok {
+					return nil, fmt.Errorf("cigate: field %q missing", name)
+				}
+				c, err := enc.CompressField(f, bound)
+				if err != nil {
+					return nil, fmt.Errorf("cigate: ratio %v/%s: %w", layout, codec, err)
+				}
+				raw += int64(c.NumValues * 8)
+				comp += int64(len(c.Payload))
+			}
+			m.Ratios[fmt.Sprintf("%s/hilbert/%s", layout, codec)] = float64(raw) / float64(comp)
+		}
+	}
+	return m, nil
+}
+
+// CompareCIGate checks a fresh measurement against the committed baseline
+// and returns the list of violations (empty = gate passes). Throughput may
+// regress by at most maxSlowdown (fraction, e.g. 0.15); any ratio may drop
+// by at most maxRatioDrop (fraction, e.g. 0.01).
+func CompareCIGate(baseline, current *CIMeasurement, maxSlowdown, maxRatioDrop float64) []string {
+	var violations []string
+	if baseline.Version != current.Version {
+		return []string{fmt.Sprintf("baseline version %d does not match gate version %d — regenerate with zmesh-ci -update",
+			baseline.Version, current.Version)}
+	}
+	score := func(name string, base, cur float64) {
+		if base <= 0 {
+			violations = append(violations, fmt.Sprintf("%s: baseline score %.4f is not positive — regenerate the baseline", name, base))
+			return
+		}
+		if cur > base*(1+maxSlowdown) {
+			violations = append(violations, fmt.Sprintf(
+				"%s throughput regressed %.1f%% (normalized score %.4f -> %.4f, budget %.0f%%)",
+				name, (cur/base-1)*100, base, cur, maxSlowdown*100))
+		}
+	}
+	score("recipe-build", baseline.RecipeScore, current.RecipeScore)
+	score("compress", baseline.CompressScore, current.CompressScore)
+	score("decompress", baseline.DecompressScore, current.DecompressScore)
+
+	combos := make([]string, 0, len(baseline.Ratios))
+	for combo := range baseline.Ratios {
+		combos = append(combos, combo)
+	}
+	sort.Strings(combos)
+	for _, combo := range combos {
+		base := baseline.Ratios[combo]
+		cur, ok := current.Ratios[combo]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("ratio %s: combo missing from current measurement", combo))
+			continue
+		}
+		if cur < base*(1-maxRatioDrop) {
+			violations = append(violations, fmt.Sprintf(
+				"ratio %s dropped %.2f%% (%.3f -> %.3f, budget %.1f%%)",
+				combo, (1-cur/base)*100, base, cur, maxRatioDrop*100))
+		}
+	}
+	return violations
+}
+
+// FormatCIMeasurement renders the measurement as the human-readable block
+// zmesh-ci prints.
+func FormatCIMeasurement(m *CIMeasurement) string {
+	out := fmt.Sprintf("reference   %8.2fms (machine-speed denominator)\n", float64(m.ReferenceNs)/1e6)
+	out += fmt.Sprintf("recipe      %8.2fms  score %.4f\n", float64(m.RecipeNs)/1e6, m.RecipeScore)
+	out += fmt.Sprintf("compress    %8.2fms  score %.4f\n", float64(m.CompressNs)/1e6, m.CompressScore)
+	out += fmt.Sprintf("decompress  %8.2fms  score %.4f\n", float64(m.DecompressNs)/1e6, m.DecompressScore)
+	combos := make([]string, 0, len(m.Ratios))
+	for combo := range m.Ratios {
+		combos = append(combos, combo)
+	}
+	sort.Strings(combos)
+	for _, combo := range combos {
+		out += fmt.Sprintf("ratio %-28s %.3f\n", combo, m.Ratios[combo])
+	}
+	return out
+}

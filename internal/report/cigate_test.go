@@ -1,0 +1,68 @@
+package report
+
+import "testing"
+
+func TestCIGateSelfComparison(t *testing.T) {
+	m, err := MeasureCIGate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RecipeScore <= 0 || m.CompressScore <= 0 || m.DecompressScore <= 0 {
+		t.Fatalf("non-positive scores: %+v", m)
+	}
+	if len(m.Ratios) != 8 {
+		t.Fatalf("got %d ratio combos, want 8 (4 layouts x 2 codecs)", len(m.Ratios))
+	}
+	for combo, r := range m.Ratios {
+		if r <= 1 {
+			t.Errorf("ratio %s = %v, expected compression > 1", combo, r)
+		}
+	}
+	// A measurement compared against itself is by definition within budget.
+	if v := CompareCIGate(m, m, 0.15, 0.01); len(v) != 0 {
+		t.Fatalf("self-comparison produced violations: %v", v)
+	}
+}
+
+func TestCIGateDetectsRegressions(t *testing.T) {
+	base := &CIMeasurement{
+		Version:         CIGateVersion,
+		RecipeScore:     1.0,
+		CompressScore:   2.0,
+		DecompressScore: 0.5,
+		Ratios:          map[string]float64{"zmesh/hilbert/sz": 10.0, "level/hilbert/zfp": 8.0},
+	}
+	cur := &CIMeasurement{
+		Version:         CIGateVersion,
+		RecipeScore:     1.2, // +20% — over the 15% budget
+		CompressScore:   2.1, // +5% — within budget
+		DecompressScore: 0.5,
+		Ratios:          map[string]float64{"zmesh/hilbert/sz": 9.5, "level/hilbert/zfp": 7.99}, // -5% / -0.1%
+	}
+	v := CompareCIGate(base, cur, 0.15, 0.01)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (recipe slowdown + sz ratio drop), got %d: %v", len(v), v)
+	}
+
+	// Version skew must be its own hard failure.
+	stale := &CIMeasurement{Version: CIGateVersion + 1}
+	if v := CompareCIGate(stale, cur, 0.15, 0.01); len(v) != 1 {
+		t.Fatalf("version skew: want 1 violation, got %v", v)
+	}
+
+	// A combo missing from the current measurement fails rather than passing
+	// silently.
+	missing := &CIMeasurement{
+		Version:     CIGateVersion,
+		RecipeScore: 1, CompressScore: 1, DecompressScore: 1,
+		Ratios: map[string]float64{"zmesh/hilbert/sz": 10.0},
+	}
+	curNoRatio := &CIMeasurement{
+		Version:     CIGateVersion,
+		RecipeScore: 1, CompressScore: 1, DecompressScore: 1,
+		Ratios: map[string]float64{},
+	}
+	if v := CompareCIGate(missing, curNoRatio, 0.15, 0.01); len(v) != 1 {
+		t.Fatalf("missing combo: want 1 violation, got %v", v)
+	}
+}

@@ -1,0 +1,235 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/amr"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// layoutSpec is one layout × curve combination of the sweep.
+type layoutSpec struct {
+	layout core.Layout
+	curve  string
+}
+
+// TelemetryReportVersion is bumped when the report shape changes, so the CI
+// gate can reject stale baselines instead of mis-parsing them.
+const TelemetryReportVersion = 1
+
+// TelemetryPoint is one layout × curve × codec cell of the run report:
+// end-to-end pipeline measurements plus the per-stage wall-time breakdown
+// from an attached telemetry Registry.
+type TelemetryPoint struct {
+	Problem string `json:"problem"`
+	Layout  string `json:"layout"`
+	Curve   string `json:"curve"`
+	Codec   string `json:"codec"`
+	Fields  int    `json:"fields"`
+	Values  int    `json:"values"` // total values across fields
+
+	RawBytes        int64   `json:"raw_bytes"`
+	CompressedBytes int64   `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+
+	// SmoothnessPct is the mean total-variation improvement of the
+	// reordered stream over the level-order baseline (the paper's
+	// smoothness metric), averaged over fields.
+	SmoothnessPct float64 `json:"smoothness_pct"`
+
+	RecipeNs       int64   `json:"recipe_ns"`
+	CompressNs     int64   `json:"compress_ns"`
+	DecompressNs   int64   `json:"decompress_ns"`
+	CompressMBps   float64 `json:"compress_mbps"`
+	DecompressMBps float64 `json:"decompress_mbps"`
+
+	MaxAbsError float64 `json:"max_abs_error"`
+
+	// StageNs is the per-stage wall-time breakdown (timer name → total ns)
+	// recorded by the registry attached to this combo's encoder/decoder —
+	// the recipe.*, encode.stage.* and decode.stage.* timers.
+	StageNs map[string]int64 `json:"stage_ns,omitempty"`
+	// Counters carries the registry's counters (fields, bytes, recipe
+	// builds, container events) for the combo.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// TelemetryReport is the `zmesh-bench -telemetry out.json` artefact: the
+// full layout × curve × codec sweep with per-stage telemetry, the
+// measurement substrate the CI quality gates compare against.
+type TelemetryReport struct {
+	Version    int              `json:"version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Resolution int              `json:"resolution"`
+	MaxDepth   int              `json:"max_depth"`
+	RelBound   float64          `json:"rel_bound"`
+	Problems   []string         `json:"problems"`
+	Codecs     []string         `json:"codecs"`
+	Points     []TelemetryPoint `json:"points"`
+}
+
+// telemetryLayouts is the full layout × curve cross product. LevelOrder
+// ignores the curve but is swept per curve anyway so every (layout, curve,
+// codec) triple exists in the report — the gate keys on the triple.
+func telemetryLayouts() []layoutSpec {
+	layouts := []core.Layout{core.LevelOrder, core.SFCWithinLevel, core.ZMesh, core.ZMeshBlock}
+	curves := []string{"hilbert", "morton", "rowmajor"}
+	specs := make([]layoutSpec, 0, len(layouts)*len(curves))
+	for _, l := range layouts {
+		for _, c := range curves {
+			specs = append(specs, layoutSpec{l, c})
+		}
+	}
+	return specs
+}
+
+// Telemetry sweeps every layout × curve × codec combination over the
+// suite's problems, with a fresh telemetry Registry instrumenting each
+// combo's encoder and decoder, and returns the consolidated run report.
+func Telemetry(s *experiments.Suite, codecs []string, relBound float64) (*TelemetryReport, error) {
+	if len(codecs) == 0 {
+		codecs = []string{"sz", "zfp"}
+	}
+	if relBound <= 0 {
+		relBound = 1e-4
+	}
+	report := &TelemetryReport{
+		Version:    TelemetryReportVersion,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Resolution: s.Cfg.Resolution,
+		MaxDepth:   s.Cfg.MaxDepth,
+		RelBound:   relBound,
+		Problems:   s.Cfg.Problems,
+		Codecs:     codecs,
+	}
+	for _, problem := range s.Cfg.Problems {
+		ck, err := s.Checkpoint(problem)
+		if err != nil {
+			return nil, err
+		}
+		fields := make([]*amr.Field, 0, len(s.Cfg.Fields))
+		for _, name := range s.Cfg.Fields {
+			f, ok := ck.Field(name)
+			if !ok {
+				return nil, fmt.Errorf("telemetry: field %q missing from %s", name, problem)
+			}
+			fields = append(fields, f)
+		}
+		for _, spec := range telemetryLayouts() {
+			for _, codecName := range codecs {
+				pt, err := telemetryPoint(ck.Mesh, fields, problem, spec, codecName, relBound)
+				if err != nil {
+					return nil, fmt.Errorf("telemetry: %s %v/%s/%s: %w",
+						problem, spec.layout, spec.curve, codecName, err)
+				}
+				report.Points = append(report.Points, *pt)
+			}
+		}
+	}
+	return report, nil
+}
+
+// telemetryPoint measures one combo end to end with instrumentation
+// attached.
+func telemetryPoint(mesh *amr.Mesh, fields []*amr.Field, problem string, spec layoutSpec, codecName string, relBound float64) (*TelemetryPoint, error) {
+	reg := telemetry.NewRegistry()
+
+	// Recipe construction, observed: the per-phase recipe.* timers land in
+	// this combo's registry.
+	recipeStart := time.Now()
+	if _, err := core.BuildRecipeObserved(mesh, spec.layout, spec.curve, 0, reg); err != nil {
+		return nil, err
+	}
+	recipeNs := time.Since(recipeStart).Nanoseconds()
+
+	enc, err := zmesh.NewEncoder(mesh, zmesh.Options{
+		Layout: spec.layout, Curve: spec.curve, Codec: codecName,
+	})
+	if err != nil {
+		return nil, err
+	}
+	enc.Instrument(reg)
+	bound := zmesh.RelBound(relBound)
+
+	pt := &TelemetryPoint{
+		Problem:  problem,
+		Layout:   spec.layout.String(),
+		Curve:    spec.curve,
+		Codec:    codecName,
+		Fields:   len(fields),
+		RecipeNs: recipeNs,
+	}
+
+	// Smoothness of the reordered stream vs the level-order baseline.
+	var smoothSum float64
+	for _, f := range fields {
+		baseline := zmesh.FieldValues(f)
+		reordered, err := enc.Serialize(f)
+		if err != nil {
+			return nil, err
+		}
+		smoothSum += metrics.SmoothnessImprovement(baseline, reordered)
+		pt.Values += len(baseline)
+	}
+	pt.SmoothnessPct = smoothSum / float64(len(fields))
+
+	// Compression.
+	artifacts := make([]*zmesh.Compressed, len(fields))
+	encStart := time.Now()
+	for i, f := range fields {
+		c, err := enc.CompressField(f, bound)
+		if err != nil {
+			return nil, err
+		}
+		artifacts[i] = c
+	}
+	pt.CompressNs = time.Since(encStart).Nanoseconds()
+	for _, c := range artifacts {
+		pt.RawBytes += int64(c.NumValues * 8)
+		pt.CompressedBytes += int64(len(c.Payload))
+	}
+	if pt.CompressedBytes > 0 {
+		pt.Ratio = float64(pt.RawBytes) / float64(pt.CompressedBytes)
+	}
+
+	// Decompression + bound verification.
+	dec := zmesh.NewDecoder(mesh).Instrument(reg)
+	decStart := time.Now()
+	recons := make([]*amr.Field, len(artifacts))
+	for i, c := range artifacts {
+		f, err := dec.DecompressField(c)
+		if err != nil {
+			return nil, err
+		}
+		recons[i] = f
+	}
+	pt.DecompressNs = time.Since(decStart).Nanoseconds()
+	for i, f := range fields {
+		e, err := zmesh.MaxAbsError(f, recons[i])
+		if err != nil {
+			return nil, err
+		}
+		if e > pt.MaxAbsError {
+			pt.MaxAbsError = e
+		}
+	}
+
+	mb := float64(pt.RawBytes) / (1 << 20)
+	if pt.CompressNs > 0 {
+		pt.CompressMBps = mb / (float64(pt.CompressNs) / 1e9)
+	}
+	if pt.DecompressNs > 0 {
+		pt.DecompressMBps = mb / (float64(pt.DecompressNs) / 1e9)
+	}
+
+	snap := reg.Snapshot()
+	pt.StageNs = snap.StageTotals()
+	pt.Counters = snap.Counters
+	return pt, nil
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestTelemetryReport(t *testing.T) {
+	s := experiments.NewSuite(experiments.QuickConfig())
+	rep, err := Telemetry(s, []string{"sz"}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 layouts × 3 curves × 1 codec × 1 problem.
+	if want := 12; len(rep.Points) != want {
+		t.Fatalf("got %d points, want %d", len(rep.Points), want)
+	}
+	seen := make(map[string]bool)
+	for _, pt := range rep.Points {
+		key := pt.Layout + "/" + pt.Curve + "/" + pt.Codec
+		if seen[key] {
+			t.Errorf("duplicate combo %s", key)
+		}
+		seen[key] = true
+		if pt.Ratio <= 0 {
+			t.Errorf("%s: non-positive ratio %v", key, pt.Ratio)
+		}
+		if pt.CompressNs <= 0 || pt.DecompressNs <= 0 || pt.RecipeNs <= 0 {
+			t.Errorf("%s: missing timings %d/%d/%d", key, pt.CompressNs, pt.DecompressNs, pt.RecipeNs)
+		}
+		if pt.MaxAbsError <= 0 {
+			t.Errorf("%s: expected lossy error > 0, got %v", key, pt.MaxAbsError)
+		}
+		// The per-stage breakdown must include recipe phases and the codec
+		// stage for this combo. Level-order builds no sort keys, so
+		// recipe.sort is only required on reordering layouts.
+		wantStages := []string{"recipe.setup", "encode.stage.codec." + pt.Codec, "decode.stage.restore"}
+		if pt.Layout != "level" {
+			wantStages = append(wantStages, "recipe.sort")
+		}
+		for _, stage := range wantStages {
+			if pt.StageNs[stage] <= 0 {
+				t.Errorf("%s: stage %q missing from breakdown %v", key, stage, pt.StageNs)
+			}
+		}
+		if pt.Counters["encode.fields"] != int64(pt.Fields) {
+			t.Errorf("%s: encode.fields=%d want %d", key, pt.Counters["encode.fields"], pt.Fields)
+		}
+		if pt.Counters["decode.fields"] != int64(pt.Fields) {
+			t.Errorf("%s: decode.fields=%d want %d", key, pt.Counters["decode.fields"], pt.Fields)
+		}
+	}
+	// zmesh layouts should not be less smooth than the level-order identity
+	// on at least one combo (sanity that the smoothness column is wired up).
+	var anyPositive bool
+	for _, pt := range rep.Points {
+		if pt.Layout != "level" && pt.SmoothnessPct > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Error("no reordered combo reported positive smoothness improvement")
+	}
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var (
+	publishMu  sync.Mutex
+	publishSet = make(map[string]*publishedRegistry)
+)
+
+// publishedRegistry is the swappable indirection behind one expvar name:
+// expvar.Publish panics on duplicate names, so repeated Publish calls for
+// the same name retarget the existing expvar.Func instead.
+type publishedRegistry struct {
+	mu  sync.RWMutex
+	reg *Registry
+}
+
+func (p *publishedRegistry) get() *Registry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.reg
+}
+
+// Publish exposes the registry's live snapshot as the named expvar (e.g.
+// under /debug/vars when net/http/pprof or expvar handlers are mounted).
+// Publishing a second registry under the same name replaces the first;
+// publishing nil detaches the name (it then reports an empty snapshot).
+func Publish(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if p, ok := publishSet[name]; ok {
+		p.mu.Lock()
+		p.reg = r
+		p.mu.Unlock()
+		return
+	}
+	p := &publishedRegistry{reg: r}
+	publishSet[name] = p
+	expvar.Publish(name, expvar.Func(func() any {
+		return p.get().Snapshot()
+	}))
+}

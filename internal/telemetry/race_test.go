@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryHammer drives one Registry from 16 goroutines that race
+// metric creation, observation and snapshotting. Run under -race this
+// asserts the concurrency contract; the final counts assert no lost
+// updates.
+func TestRegistryHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the goroutines share metric names, half use private ones,
+			// so both the fast read-lock path and the create path race.
+			private := fmt.Sprintf("private.%d", g)
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter(private).Inc()
+				r.Histogram("shared.hist").Observe(int64(i % 1000))
+				r.Timer("shared.timer").Observe(time.Duration(i) * time.Nanosecond)
+				if i%256 == 0 {
+					s := r.Snapshot()
+					if s.Counters["shared.count"] < 0 {
+						t.Error("negative counter in snapshot")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["shared.count"]; got != goroutines*iters {
+		t.Fatalf("shared counter = %d, want %d (lost updates)", got, goroutines*iters)
+	}
+	for g := 0; g < goroutines; g++ {
+		name := fmt.Sprintf("private.%d", g)
+		if got := s.Counters[name]; got != iters {
+			t.Fatalf("%s = %d, want %d", name, got, iters)
+		}
+	}
+	if got := s.Histograms["shared.hist"].Count; got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	if got := s.Timers["shared.timer"].Count; got != goroutines*iters {
+		t.Fatalf("timer count = %d, want %d", got, goroutines*iters)
+	}
+	// Bucket totals must equal the observation count: no observation may be
+	// dropped or double-bucketed under contention.
+	var bucketTotal int64
+	for _, b := range s.Histograms["shared.hist"].Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != goroutines*iters {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, goroutines*iters)
+	}
+}

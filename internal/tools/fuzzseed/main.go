@@ -1,0 +1,188 @@
+// Command fuzzseed regenerates the committed fuzz corpus seeds under each
+// package's testdata/fuzz/<FuzzTarget>/ directory. The committed seeds give
+// CI's short -fuzztime smoke runs immediate coverage of the interesting
+// regions (valid payloads, truncations, bit flips) instead of starting from
+// the trivial f.Add seeds every run; they also execute as regular test
+// cases during plain `go test`.
+//
+//	go run ./internal/tools/fuzzseed
+//
+// Run from the repository root after changing any serialized format, and
+// commit the result.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/amr"
+	"repro/internal/compress"
+	"repro/internal/compress/chunked"
+	"repro/internal/compress/container"
+	"repro/internal/compress/lossless"
+	"repro/internal/compress/multilevel"
+	"repro/internal/compress/sz"
+	"repro/internal/compress/zfp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzseed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// corpusEntry renders arguments in the `go test fuzz v1` corpus encoding.
+func corpusEntry(args ...any) []byte {
+	out := "go test fuzz v1\n"
+	for _, a := range args {
+		switch v := a.(type) {
+		case []byte:
+			out += "[]byte(" + strconv.Quote(string(v)) + ")\n"
+		case bool:
+			out += fmt.Sprintf("bool(%v)\n", v)
+		default:
+			panic(fmt.Sprintf("unsupported corpus arg type %T", a))
+		}
+	}
+	return []byte(out)
+}
+
+func write(dir, name string, entry []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, entry, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// wave is the seed signal: smooth enough to compress well, structured
+// enough that every codec exercises its real encode paths.
+func wave(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		x := float64(i) / float64(n)
+		vals[i] = math.Sin(12*x) + 0.3*math.Cos(31*x)
+	}
+	return vals
+}
+
+func flipMiddle(buf []byte) []byte {
+	out := append([]byte(nil), buf...)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0xff
+	}
+	return out
+}
+
+func run() error {
+	vals := wave(256)
+	dims := []int{len(vals)}
+	bound := compress.AbsBound(1e-3)
+
+	codecs := []struct {
+		dir   string
+		codec compress.Compressor
+	}{
+		{"internal/compress/sz", sz.New()},
+		{"internal/compress/zfp", zfp.New()},
+		{"internal/compress/lossless", lossless.New()},
+		{"internal/compress/multilevel", multilevel.New()},
+		{"internal/compress/chunked", chunked.New(sz.New())},
+	}
+	for _, c := range codecs {
+		payload, err := c.codec.Compress(vals, dims, bound)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.dir, err)
+		}
+		dir := filepath.Join(c.dir, "testdata", "fuzz", "FuzzDecompress")
+		if err := write(dir, "seed-valid-wave", corpusEntry(payload)); err != nil {
+			return err
+		}
+		if err := write(dir, "seed-bitflip", corpusEntry(flipMiddle(payload))); err != nil {
+			return err
+		}
+		if len(payload) > 4 {
+			if err := write(dir, "seed-truncated", corpusEntry(payload[:len(payload)/2])); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Progressive multilevel decode shares the multilevel payload format.
+	mglPayload, err := multilevel.New().Compress(vals, dims, bound)
+	if err != nil {
+		return err
+	}
+	progDir := filepath.Join("internal/compress/multilevel", "testdata", "fuzz", "FuzzDecompressProgressive")
+	if err := write(progDir, "seed-valid-wave", corpusEntry(mglPayload)); err != nil {
+		return err
+	}
+	if err := write(progDir, "seed-bitflip", corpusEntry(flipMiddle(mglPayload))); err != nil {
+		return err
+	}
+
+	// Container envelope: a well-formed frame plus a checksum-corrupted twin.
+	szPayload, err := sz.New().Compress(vals, dims, bound)
+	if err != nil {
+		return err
+	}
+	env, err := container.Wrap("sz", len(vals), szPayload)
+	if err != nil {
+		return err
+	}
+	envDir := filepath.Join("internal/compress/container", "testdata", "fuzz", "FuzzUnwrap")
+	if err := write(envDir, "seed-valid-envelope", corpusEntry(env)); err != nil {
+		return err
+	}
+	corrupt := append([]byte(nil), env...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if err := write(envDir, "seed-bad-checksum", corpusEntry(corrupt)); err != nil {
+		return err
+	}
+
+	// Bit reader: data plus an op script mixing aligned and straddling reads.
+	bitDir := filepath.Join("internal/bitstream", "testdata", "fuzz", "FuzzReader")
+	if err := write(bitDir, "seed-mixed-ops",
+		corpusEntry([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x80, 0x7f}, []byte{3, 13, 1, 64, 8, 5, 32})); err != nil {
+		return err
+	}
+
+	// Temporal frames: a real keyframe (payload + topology) and a delta
+	// frame against it, in the root package's corpus.
+	m, err := amr.NewMesh(2, 8, [3]int{1, 1, 1})
+	if err != nil {
+		return err
+	}
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		return err
+	}
+	n := m.NumBlocks() * m.CellsPerBlock()
+	stream := wave(n)
+	framePayload, err := sz.New().Compress(stream, []int{n}, bound)
+	if err != nil {
+		return err
+	}
+	frame, err := container.Wrap("sz", n, framePayload)
+	if err != nil {
+		return err
+	}
+	tempDir := filepath.Join("testdata", "fuzz", "FuzzDecompressSnapshot")
+	if err := write(tempDir, "seed-keyframe", corpusEntry(true, frame, m.Structure())); err != nil {
+		return err
+	}
+	if err := write(tempDir, "seed-delta-no-key", corpusEntry(false, frame, []byte{})); err != nil {
+		return err
+	}
+	if err := write(tempDir, "seed-keyframe-bitflip", corpusEntry(true, flipMiddle(frame), m.Structure())); err != nil {
+		return err
+	}
+	return nil
+}

@@ -51,6 +51,9 @@ type TemporalEncoder struct {
 	flat   []float64
 	stream []float64
 	delta  []float64
+
+	stats *temporalStats // nil unless Instrument attached a registry
+	reg   *Registry      // registry for observed keyframe recipe builds
 }
 
 // NewTemporalEncoder creates an encoder for one quantity stream.
@@ -79,14 +82,16 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 	recipe := te.recipe
 	if !sameTopology {
 		var err error
-		recipe, err = core.BuildRecipe(m, te.opt.Layout, te.opt.Curve)
+		recipe, err = core.BuildRecipeObserved(m, te.opt.Layout, te.opt.Curve, 0, te.reg)
 		if err != nil {
+			te.stats.abort()
 			return nil, err
 		}
 	}
 	te.flat = amr.AppendLevelOrder(te.flat, f)
 	stream, err := recipe.ApplyTo(te.stream, te.flat)
 	if err != nil {
+		te.stats.abort()
 		return nil, err
 	}
 	te.stream = stream
@@ -96,22 +101,30 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 
 	if !sameTopology {
 		// Keyframe.
+		t0 := stageStart(te.stats != nil)
 		payload, err := te.codec.Compress(stream, []int{len(stream)}, abs)
 		if err != nil {
+			te.stats.abort()
 			return nil, err
 		}
 		recon, err := te.codec.Decompress(payload)
 		if err != nil {
+			te.stats.abort()
 			return nil, err
+		}
+		if s := te.stats; s != nil {
+			s.codec.Since(t0)
 		}
 		wrapped, err := container.Wrap(te.opt.Codec, len(stream), payload)
 		if err != nil {
+			te.stats.abort()
 			return nil, err
 		}
 		// Commit: the snapshot is fully encoded.
 		te.recipe = recipe
 		te.prevStructure = structure
 		te.prevRecon = recon
+		te.stats.commit(true, len(stream)*8, len(wrapped))
 		return &TemporalCompressed{
 			Compressed: Compressed{
 				FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
@@ -123,6 +136,7 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 	}
 	// Delta frame against the previous reconstruction.
 	if len(te.prevRecon) != len(stream) {
+		te.stats.abort()
 		return nil, fmt.Errorf("zmesh: temporal state out of sync (%d vs %d values)",
 			len(te.prevRecon), len(stream))
 	}
@@ -133,22 +147,30 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 	for i := range delta {
 		delta[i] = stream[i] - te.prevRecon[i]
 	}
+	t0 := stageStart(te.stats != nil)
 	payload, err := te.codec.Compress(delta, []int{len(delta)}, abs)
 	if err != nil {
+		te.stats.abort()
 		return nil, err
 	}
 	dRecon, err := te.codec.Decompress(payload)
 	if err != nil {
+		te.stats.abort()
 		return nil, err
+	}
+	if s := te.stats; s != nil {
+		s.codec.Since(t0)
 	}
 	wrapped, err := container.Wrap(te.opt.Codec, len(stream), payload)
 	if err != nil {
+		te.stats.abort()
 		return nil, err
 	}
 	// Commit: advance the reconstruction only once the frame exists.
 	for i := range te.prevRecon {
 		te.prevRecon[i] += dRecon[i]
 	}
+	te.stats.commit(false, len(stream)*8, len(wrapped))
 	return &TemporalCompressed{
 		Compressed: Compressed{
 			FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
@@ -171,6 +193,9 @@ type TemporalDecoder struct {
 	// Scratch buffers reused across snapshots.
 	flat      []float64
 	nextRecon []float64
+
+	stats *temporalStats // nil unless Instrument attached a registry
+	reg   *Registry      // registry for observed keyframe recipe builds
 }
 
 // NewTemporalDecoder creates a decoder for one quantity stream.
@@ -186,47 +211,65 @@ func NewTemporalDecoder() *TemporalDecoder { return &TemporalDecoder{} }
 // validation — leaves the stream state untouched, so the stream keeps
 // decoding from where it was.
 func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, error) {
-	codecName, payload, err := unwrapPayload(&c.Compressed)
+	var envStats *containerStats
+	if td.stats != nil {
+		envStats = &td.stats.envelope
+	}
+	codecName, payload, err := unwrapPayload(&c.Compressed, envStats)
 	if err != nil {
+		td.stats.abort()
 		return nil, err
 	}
 	codec, err := compress.Get(codecName)
 	if err != nil {
+		td.stats.abort()
 		return nil, err
 	}
+	t0 := stageStart(td.stats != nil)
 	vals, err := codec.Decompress(payload)
 	if err != nil {
+		td.stats.abort()
 		return nil, err
+	}
+	if s := td.stats; s != nil {
+		s.codec.Since(t0)
 	}
 	// Same check as Decoder.DecompressField: truncated legacy (bare)
 	// payloads must fail loudly instead of flowing into the reconstruction.
 	if c.NumValues != 0 && len(vals) != c.NumValues {
+		td.stats.abort()
 		return nil, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
 			c.FieldName, len(vals), c.NumValues)
 	}
 	if c.Keyframe {
 		if len(c.Structure) == 0 {
+			td.stats.abort()
 			return nil, fmt.Errorf("zmesh: keyframe without topology")
 		}
 		m, err := amr.MeshFromStructure(c.Structure)
 		if err != nil {
+			td.stats.abort()
 			return nil, err
 		}
-		recipe, err := core.BuildRecipe(m, c.Layout, c.Curve)
+		recipe, err := core.BuildRecipeObserved(m, c.Layout, c.Curve, 0, td.reg)
 		if err != nil {
+			td.stats.abort()
 			return nil, err
 		}
 		flat, err := recipe.RestoreTo(td.flat, vals)
 		if err != nil {
+			td.stats.abort()
 			return nil, err
 		}
 		td.flat = flat
 		levels, err := amr.SplitLevels(m, flat)
 		if err != nil {
+			td.stats.abort()
 			return nil, err
 		}
 		f, err := amr.FieldFromLevelArrays(m, c.FieldName, levels)
 		if err != nil {
+			td.stats.abort()
 			return nil, err
 		}
 		// Commit: the keyframe decoded end to end; it resets the stream.
@@ -236,21 +279,26 @@ func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, er
 		td.layout = c.Layout
 		td.curve = c.Curve
 		td.fieldName = c.FieldName
+		td.stats.commit(true, len(vals)*8, len(c.Payload))
 		return f, nil
 	}
 	// Delta frame: validate against the stream identity first.
 	if td.prevRecon == nil {
+		td.stats.abort()
 		return nil, fmt.Errorf("zmesh: delta frame before any keyframe")
 	}
 	if c.Layout != td.layout || c.Curve != td.curve {
+		td.stats.abort()
 		return nil, fmt.Errorf("zmesh: delta frame layout %v/%s does not match stream keyframe %v/%s",
 			c.Layout, c.Curve, td.layout, td.curve)
 	}
 	if c.FieldName != td.fieldName {
+		td.stats.abort()
 		return nil, fmt.Errorf("zmesh: delta frame for field %q on a stream of %q",
 			c.FieldName, td.fieldName)
 	}
 	if len(vals) != len(td.prevRecon) {
+		td.stats.abort()
 		return nil, fmt.Errorf("zmesh: delta frame length %d, stream has %d", len(vals), len(td.prevRecon))
 	}
 	// Accumulate into a candidate buffer; prevRecon stays untouched until
@@ -264,20 +312,24 @@ func (td *TemporalDecoder) DecompressSnapshot(c *TemporalCompressed) (*Field, er
 	}
 	flat, err := td.recipe.RestoreTo(td.flat, next)
 	if err != nil {
+		td.stats.abort()
 		return nil, err
 	}
 	td.flat = flat
 	levels, err := amr.SplitLevels(td.mesh, flat)
 	if err != nil {
+		td.stats.abort()
 		return nil, err
 	}
 	f, err := amr.FieldFromLevelArrays(td.mesh, c.FieldName, levels)
 	if err != nil {
+		td.stats.abort()
 		return nil, err
 	}
 	// Commit: swap the candidate in; the old buffer becomes next call's
 	// scratch, so steady-state delta decoding allocates no stream slices.
 	td.prevRecon, td.nextRecon = next, td.prevRecon
+	td.stats.commit(false, len(vals)*8, len(c.Payload))
 	return f, nil
 }
 

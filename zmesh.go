@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/amr"
 	"repro/internal/compress"
@@ -184,6 +185,7 @@ type Encoder struct {
 	mesh   *Mesh
 	recipe *core.Recipe
 	codec  compress.Compressor
+	stats  *encoderStats // nil unless Instrument attached a registry
 }
 
 // NewEncoder derives the recipe for the mesh and layout.
@@ -276,22 +278,47 @@ func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound)
 // compressInto is compressWith with caller-owned scratch buffers; the
 // buffers are grown once and reused across calls.
 func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound, scratch *encodeScratch) (*Compressed, error) {
+	s := e.stats
 	if f.Mesh() != e.mesh {
+		s.fail()
 		return nil, fmt.Errorf("zmesh: field %q belongs to a different mesh", f.Name)
 	}
+	t0 := stageStart(s != nil)
 	scratch.flat = amr.AppendLevelOrder(scratch.flat, f)
+	if s != nil {
+		s.flatten.Since(t0)
+		t0 = time.Now()
+	}
 	ordered, err := e.recipe.ApplyTo(scratch.ordered, scratch.flat)
 	if err != nil {
+		s.fail()
 		return nil, err
 	}
 	scratch.ordered = ordered
+	if s != nil {
+		s.reorder.Since(t0)
+		t0 = time.Now()
+	}
 	payload, err := codec.Compress(ordered, []int{len(ordered)}, bound)
 	if err != nil {
+		s.fail()
 		return nil, err
+	}
+	if s != nil {
+		s.codec.Since(t0)
+		t0 = time.Now()
 	}
 	wrapped, err := container.Wrap(e.opt.Codec, len(ordered), payload)
 	if err != nil {
+		s.fail()
 		return nil, fmt.Errorf("zmesh: field %q: %w", f.Name, err)
+	}
+	if s != nil {
+		s.wrap.Since(t0)
+		s.fields.Inc()
+		s.bytesRaw.Add(int64(len(ordered) * 8))
+		s.bytesComp.Add(int64(len(wrapped)))
+		s.ratio.ObserveMilli(compress.Ratio(len(ordered), wrapped))
 	}
 	return &Compressed{
 		FieldName: f.Name,
@@ -310,7 +337,9 @@ func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound,
 // read-write mutex, so many goroutines may call DecompressField (across the
 // same or distinct layout/curve keys) on one Decoder.
 type Decoder struct {
-	mesh *Mesh
+	mesh  *Mesh
+	stats *decoderStats // nil unless Instrument attached a registry
+	reg   *Registry     // registry for observed recipe builds (may be nil)
 
 	mu      sync.RWMutex
 	recipes map[recipeKey]*core.Recipe
@@ -355,9 +384,12 @@ func (d *Decoder) recipeFor(layout Layout, curve string) (*core.Recipe, error) {
 	if recipe, ok = d.recipes[key]; ok {
 		return recipe, nil
 	}
-	recipe, err := core.BuildRecipe(d.mesh, layout, curve)
+	recipe, err := core.BuildRecipeObserved(d.mesh, layout, curve, 0, d.reg)
 	if err != nil {
 		return nil, err
+	}
+	if s := d.stats; s != nil {
+		s.recipeBuilds.Inc()
 	}
 	d.recipes[key] = recipe
 	return recipe, nil
@@ -367,12 +399,14 @@ func (d *Decoder) recipeFor(layout Layout, curve string) (*core.Recipe, error) {
 // the codec name to dispatch on plus the bare codec payload. Envelope
 // metadata must agree with the artifact's own fields; payloads produced
 // before the envelope existed (no magic prefix) pass through unchanged.
-func unwrapPayload(c *Compressed) (codec string, payload []byte, err error) {
+func unwrapPayload(c *Compressed, cs *containerStats) (codec string, payload []byte, err error) {
 	if !container.IsContainer(c.Payload) {
+		cs.note(false, nil)
 		return c.Codec, c.Payload, nil // legacy bare payload
 	}
 	env, err := container.Unwrap(c.Payload)
 	if err != nil {
+		cs.note(true, err)
 		return "", nil, fmt.Errorf("zmesh: field %q: %w", c.FieldName, err)
 	}
 	if c.Codec != "" && env.Codec != c.Codec {
@@ -401,36 +435,68 @@ func (d *Decoder) DecompressField(c *Compressed) (*Field, error) {
 // for reuse. The returned field owns its data — the scratch may be reused
 // immediately.
 func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []float64, error) {
+	s := d.stats
 	recipe, err := d.recipeFor(c.Layout, c.Curve)
 	if err != nil {
+		s.fail()
 		return nil, flatBuf, err
 	}
-	codecName, payload, err := unwrapPayload(c)
+	t0 := stageStart(s != nil)
+	var envStats *containerStats
+	if s != nil {
+		envStats = &s.envelope
+	}
+	codecName, payload, err := unwrapPayload(c, envStats)
 	if err != nil {
+		s.fail()
 		return nil, flatBuf, err
 	}
 	codec, err := compress.Get(codecName)
 	if err != nil {
+		s.fail()
 		return nil, flatBuf, err
+	}
+	if s != nil {
+		s.unwrap.Since(t0)
+		t0 = time.Now()
 	}
 	ordered, err := codec.Decompress(payload)
 	if err != nil {
+		s.fail()
 		return nil, flatBuf, err
 	}
+	if s != nil {
+		s.codecTimer(codecName).Since(t0)
+		t0 = time.Now()
+	}
 	if c.NumValues != 0 && len(ordered) != c.NumValues {
+		s.fail()
 		return nil, flatBuf, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
 			c.FieldName, len(ordered), c.NumValues)
 	}
 	flat, err := recipe.RestoreTo(flatBuf, ordered)
 	if err != nil {
+		s.fail()
 		return nil, flatBuf, err
 	}
 	levels, err := amr.SplitLevels(d.mesh, flat)
 	if err != nil {
+		s.fail()
 		return nil, flat, err
 	}
 	f, err := amr.FieldFromLevelArrays(d.mesh, c.FieldName, levels)
-	return f, flat, err
+	if err != nil {
+		s.fail()
+		return f, flat, err
+	}
+	if s != nil {
+		s.restore.Since(t0)
+		s.fields.Inc()
+		s.bytesComp.Add(int64(len(c.Payload)))
+		s.bytesRaw.Add(int64(len(ordered) * 8))
+		s.ratio.ObserveMilli(compress.Ratio(len(ordered), c.Payload))
+	}
+	return f, flat, nil
 }
 
 // DecompressFields decompresses several artifacts concurrently with a
