@@ -1,0 +1,288 @@
+// Package client is the Go client for the zmeshd compression service
+// (cmd/zmeshd, internal/server). It wraps the HTTP protocol with connection
+// reuse, context deadlines, and retry with jittered exponential backoff on
+// 429/5xx responses and transport errors — so a burst that trips the
+// server's admission control resolves itself without caller-side logic.
+//
+// Typical use:
+//
+//	cl := client.New("http://localhost:8080")
+//	id, _ := cl.Register(ctx, mesh)
+//	c, _ := cl.CompressField(ctx, id, field, zmesh.DefaultOptions(), zmesh.AbsBound(1e-3))
+//	values, _ := cl.Decompress(ctx, id, c)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Client talks to one zmeshd base URL. It is safe for concurrent use; all
+// requests share one http.Client, so keep-alive connections are reused
+// across calls and goroutines.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (e.g. to set TLS or an overall
+// client timeout).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries bounds the retry attempts per request (0 disables
+// retrying; the first attempt always runs).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the exponential backoff window: the i-th retry waits a
+// jittered duration in [base·2ⁱ/2, base·2ⁱ], capped at max. A server
+// Retry-After hint overrides the computed delay.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
+}
+
+// New creates a client for a zmeshd base URL like "http://host:8080".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{},
+		maxRetries:  6,
+		baseBackoff: 50 * time.Millisecond,
+		maxBackoff:  2 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StatusError is a non-2xx response that was not (or no longer) retried.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
+}
+
+// retryable reports whether a status is worth another attempt: admission
+// sheds and transient upstream failures, never client errors.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// jitter picks a uniform duration in [d/2, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// backoffDelay computes the wait before retry attempt (1-based), honoring a
+// Retry-After hint when the server provided one.
+func (c *Client) backoffDelay(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := c.baseBackoff << uint(attempt-1)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	return c.jitter(d)
+}
+
+// do issues one request with retries, returning the response body and
+// headers of the first 2xx answer. The body is re-sent from buf on each
+// attempt; ctx bounds the whole retry loop including the backoff sleeps.
+func (c *Client) do(ctx context.Context, method, url, contentType string, buf []byte) ([]byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(buf))
+		if err != nil {
+			return nil, nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		var status int
+		var retryAfter string
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			lastErr = err // transport error: retryable
+		} else {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if resp.StatusCode/100 == 2 {
+				return body, resp.Header, nil
+			} else {
+				status = resp.StatusCode
+				retryAfter = resp.Header.Get("Retry-After")
+				msg := strings.TrimSpace(string(body))
+				var je wire.ErrorResponse
+				if json.Unmarshal(body, &je) == nil && je.Error != "" {
+					msg = je.Error
+				}
+				lastErr = &StatusError{Code: status, Msg: msg}
+				if !retryable(status) {
+					return nil, nil, lastErr
+				}
+			}
+		}
+		if attempt >= c.maxRetries {
+			return nil, nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		t := time.NewTimer(c.backoffDelay(attempt+1, retryAfter))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// RegisterMesh registers serialized topology metadata (Mesh.Structure
+// bytes) and returns the content-addressed mesh ID. Registration is
+// idempotent: re-registering the same structure refreshes the server's
+// cache recency and returns the same ID.
+func (c *Client) RegisterMesh(ctx context.Context, structure []byte) (string, error) {
+	body, _, err := c.do(ctx, http.MethodPost, c.base+wire.PathMeshes, wire.ContentTypeBinary, structure)
+	if err != nil {
+		return "", err
+	}
+	var reg wire.RegisterResponse
+	if err := json.Unmarshal(body, &reg); err != nil {
+		return "", fmt.Errorf("client: decoding register response: %w", err)
+	}
+	if reg.MeshID == "" {
+		return "", errors.New("client: register response carries no mesh_id")
+	}
+	return reg.MeshID, nil
+}
+
+// Register is RegisterMesh for a live mesh.
+func (c *Client) Register(ctx context.Context, m *zmesh.Mesh) (string, error) {
+	return c.RegisterMesh(ctx, m.Structure())
+}
+
+// Compress sends one field's level-order values for server-side compression
+// and returns the artifact. The payload comes back container-enveloped —
+// byte-identical to what the in-process Encoder.CompressField produces for
+// the same mesh, options and bound.
+func (c *Client) Compress(ctx context.Context, meshID, fieldName string, values []float64, opt zmesh.Options, bound zmesh.Bound) (*zmesh.Compressed, error) {
+	opt = withDefaults(opt)
+	q := make([]string, 0, 5)
+	q = append(q,
+		wire.ParamField+"="+url.QueryEscape(fieldName),
+		wire.ParamLayout+"="+url.QueryEscape(opt.Layout.String()),
+		wire.ParamCurve+"="+url.QueryEscape(opt.Curve),
+		wire.ParamCodec+"="+url.QueryEscape(opt.Codec),
+		wire.ParamBound+"="+url.QueryEscape(wire.FormatBound(bound)),
+	)
+	reqURL := c.base + wire.CompressPath(meshID) + "?" + strings.Join(q, "&")
+	buf := wire.AppendFloats(make([]byte, 0, 8*len(values)), values)
+	payload, hdr, err := c.do(ctx, http.MethodPost, reqURL, wire.ContentTypeBinary, buf)
+	if err != nil {
+		return nil, err
+	}
+	numValues, err := strconv.Atoi(hdr.Get(wire.HeaderNumValues))
+	if err != nil {
+		return nil, fmt.Errorf("client: bad %s header: %w", wire.HeaderNumValues, err)
+	}
+	layout, err := core.ParseLayout(hdr.Get(wire.HeaderLayout))
+	if err != nil {
+		return nil, fmt.Errorf("client: bad %s header: %w", wire.HeaderLayout, err)
+	}
+	return &zmesh.Compressed{
+		FieldName: hdr.Get(wire.HeaderField),
+		Layout:    layout,
+		Curve:     hdr.Get(wire.HeaderCurve),
+		Codec:     hdr.Get(wire.HeaderCodec),
+		NumValues: numValues,
+		Payload:   payload,
+	}, nil
+}
+
+// CompressField is Compress for a live field.
+func (c *Client) CompressField(ctx context.Context, meshID string, f *zmesh.Field, opt zmesh.Options, bound zmesh.Bound) (*zmesh.Compressed, error) {
+	return c.Compress(ctx, meshID, f.Name, zmesh.FieldValues(f), opt, bound)
+}
+
+// Decompress sends an artifact for server-side decompression and returns
+// the reconstructed level-order values. Layout and curve come from the
+// artifact metadata; the codec is read from the container envelope by the
+// server.
+func (c *Client) Decompress(ctx context.Context, meshID string, comp *zmesh.Compressed) ([]float64, error) {
+	q := strings.Join([]string{
+		wire.ParamField + "=" + url.QueryEscape(comp.FieldName),
+		wire.ParamLayout + "=" + url.QueryEscape(comp.Layout.String()),
+		wire.ParamCurve + "=" + url.QueryEscape(comp.Curve),
+	}, "&")
+	reqURL := c.base + wire.DecompressPath(meshID) + "?" + q
+	body, _, err := c.do(ctx, http.MethodPost, reqURL, wire.ContentTypeBinary, comp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	values, err := wire.DecodeFloats(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding values: %w", err)
+	}
+	if comp.NumValues != 0 && len(values) != comp.NumValues {
+		return nil, fmt.Errorf("client: server returned %d values, artifact claims %d", len(values), comp.NumValues)
+	}
+	return values, nil
+}
+
+func withDefaults(opt zmesh.Options) zmesh.Options {
+	if opt.Curve == "" {
+		opt.Curve = "hilbert"
+	}
+	if opt.Codec == "" {
+		opt.Codec = "sz"
+	}
+	return opt
+}

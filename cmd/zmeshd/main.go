@@ -1,0 +1,88 @@
+// Command zmeshd is the zMesh compression daemon: a long-lived HTTP service
+// that lets many clients share one hot recipe cache. Clients register a
+// mesh structure once (POST /v1/meshes) and then stream fields through
+// /v1/meshes/{id}/compress and /decompress; the daemon caches encoders and
+// decoders by (structure-hash, layout, curve, codec), sheds load past its
+// in-flight budget with 429 + Retry-After, and drains in-flight requests on
+// SIGTERM/SIGINT before exiting.
+//
+// Telemetry (server.*, encode.*, decode.*, recipe.*) is served on
+// /debug/vars under the "zmeshd" key.
+//
+// Usage:
+//
+//	zmeshd [-addr :8080] [-max-inflight N] [-max-meshes N] [-max-encoders N]
+//	       [-retry-after 1s] [-max-body 1073741824] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission budget: concurrent heavy requests (0 = 2×GOMAXPROCS)")
+		maxMeshes    = flag.Int("max-meshes", 0, "registered-mesh LRU capacity (0 = default 64)")
+		maxEncoders  = flag.Int("max-encoders", 0, "encoder LRU capacity (0 = default 256)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+		maxBody      = flag.Int64("max-body", 1<<30, "request body cap in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, server.Config{
+		MaxMeshes:    *maxMeshes,
+		MaxEncoders:  *maxEncoders,
+		MaxInflight:  *maxInflight,
+		RetryAfter:   *retryAfter,
+		MaxBodyBytes: *maxBody,
+		Registry:     zmesh.NewRegistry(),
+	}, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "zmeshd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The listen line goes to stdout so supervisors (and the e2e smoke
+	// driver) can scrape the bound address when -addr requests port 0.
+	fmt.Printf("zmeshd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "zmeshd: %s received, draining (timeout %s)\n", got, drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "zmeshd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,88 @@
+package zmesh
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The Context variants must honor cancellation: a canceled context stops
+// dispatching work and surfaces ctx.Err() instead of partial results.
+func TestCompressFieldsContextCanceled(t *testing.T) {
+	ck := checkpoint(t)
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := enc.CompressFieldsContext(ctx, ck.Fields, RelBound(1e-3), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDecompressFieldsContextCanceled(t *testing.T) {
+	ck := checkpoint(t)
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := enc.CompressFields(ck.Fields, RelBound(1e-3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dec := NewDecoder(ck.Mesh)
+	if _, err := dec.DecompressFieldsContext(ctx, cs, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same decoder still works with a live context afterwards.
+	out, err := dec.DecompressFieldsContext(context.Background(), cs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cs) {
+		t.Fatalf("%d results for %d artifacts", len(out), len(cs))
+	}
+}
+
+// The background-context wrappers and the Context variants must agree: same
+// results, and the empty-input fast path returns without spinning workers.
+func TestDecompressFieldsEmpty(t *testing.T) {
+	ck := checkpoint(t)
+	dec := NewDecoder(ck.Mesh)
+	out, err := dec.DecompressFields(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || len(out) != 0 {
+		t.Fatalf("want empty non-nil slice, got %#v", out)
+	}
+	cs, err := dec.DecompressFields([]*Compressed{}, -3)
+	if err != nil || len(cs) != 0 {
+		t.Fatalf("empty slice with negative workers: %v, %d results", err, len(cs))
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		workers, jobs, want int
+	}{
+		{4, 10, 4},  // within budget
+		{16, 3, 3},  // never more workers than jobs
+		{1, 1, 1},   // exact
+		{-7, 0, 1},  // degenerate inputs clamp to one
+		{100, 1, 1}, // single job never fans out
+	}
+	for _, c := range cases {
+		if got := clampWorkers(c.workers, c.jobs); got != c.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", c.workers, c.jobs, got, c.want)
+		}
+	}
+	// workers <= 0 with jobs available resolves to GOMAXPROCS-bounded
+	// parallelism: at least one, never more than the job count.
+	if got := clampWorkers(0, 2); got < 1 || got > 2 {
+		t.Errorf("clampWorkers(0, 2) = %d, want in [1, 2]", got)
+	}
+}

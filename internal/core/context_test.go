@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A canceled context aborts the span-parallel recipe build instead of
+// returning a partial permutation.
+func TestBuildRecipeParallelContextCanceled(t *testing.T) {
+	m := ringMesh(t, 2, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildRecipeParallelContext(ctx, m, ZMesh, "hilbert", 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A live context on the same mesh still builds, matching the serial
+	// reference.
+	got, err := BuildRecipeParallelContext(context.Background(), m, ZMesh, "hilbert", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BuildRecipe(m, ZMesh, "hilbert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, wp := got.Perm(), want.Perm()
+	if len(gp) != len(wp) {
+		t.Fatalf("perm length %d, want %d", len(gp), len(wp))
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("perm[%d] = %d, serial reference has %d", i, gp[i], wp[i])
+		}
+	}
+}

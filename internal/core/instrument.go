@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/amr"
@@ -59,7 +60,15 @@ func newRecipeMetrics(reg *telemetry.Registry) *recipeMetrics {
 // BuildRecipeParallel. The permutation produced is bit-for-bit the same
 // with or without instrumentation.
 func BuildRecipeObserved(m *amr.Mesh, layout Layout, curveName string, workers int, reg *telemetry.Registry) (*Recipe, error) {
-	return buildRecipeParallel(m, layout, curveName, workers, newRecipeMetrics(reg))
+	return buildRecipeParallel(context.Background(), m, layout, curveName, workers, newRecipeMetrics(reg))
+}
+
+// BuildRecipeObservedContext is BuildRecipeObserved with cancellation: the
+// span workers observe ctx between disjoint spans (see
+// BuildRecipeParallelContext). Aborted builds record no completed-build
+// counter increment.
+func BuildRecipeObservedContext(ctx context.Context, m *amr.Mesh, layout Layout, curveName string, workers int, reg *telemetry.Registry) (*Recipe, error) {
+	return buildRecipeParallel(ctx, m, layout, curveName, workers, newRecipeMetrics(reg))
 }
 
 // now returns the stage clock when instrumented; the zero Time otherwise.

@@ -19,6 +19,7 @@ package core
 // against the serial reference builder asserts.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -327,15 +328,23 @@ func (ctx *buildContext) sortedRootsFast() ([]amr.BlockID, error) {
 // workers <= 0 uses GOMAXPROCS. Any worker count (including 1) produces the
 // identical permutation: partitioning is by topology, not by scheduling.
 func BuildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers int) (*Recipe, error) {
-	return buildRecipeParallel(m, layout, curveName, workers, nil)
+	return buildRecipeParallel(context.Background(), m, layout, curveName, workers, nil)
 }
 
-func buildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers int, met *recipeMetrics) (*Recipe, error) {
-	ctx, err := newBuildContext(m, curveName, met)
+// BuildRecipeParallelContext is BuildRecipeParallel with cancellation: the
+// worker pool observes ctx between spans, so a caller-side deadline or
+// cancel aborts the build between disjoint units of work rather than
+// mid-span. On cancellation the error is ctx.Err().
+func BuildRecipeParallelContext(ctx context.Context, m *amr.Mesh, layout Layout, curveName string, workers int) (*Recipe, error) {
+	return buildRecipeParallel(ctx, m, layout, curveName, workers, nil)
+}
+
+func buildRecipeParallel(ctx context.Context, m *amr.Mesh, layout Layout, curveName string, workers int, met *recipeMetrics) (*Recipe, error) {
+	bctx, err := newBuildContext(m, curveName, met)
 	if err != nil {
 		return nil, err
 	}
-	n := m.NumBlocks() * ctx.cpb
+	n := m.NumBlocks() * bctx.cpb
 	perm := make([]int32, n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -344,9 +353,9 @@ func buildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers i
 	case LevelOrder:
 		fillIdentity(perm, workers)
 	case SFCWithinLevel:
-		err = ctx.buildLevelsParallel(perm, workers)
+		err = bctx.buildLevelsParallel(ctx, perm, workers)
 	case ZMesh, ZMeshBlock:
-		err = ctx.buildTreesParallel(perm, layout, workers)
+		err = bctx.buildTreesParallel(ctx, perm, layout, workers)
 	default:
 		return nil, fmt.Errorf("core: unknown layout %v", layout)
 	}
@@ -361,17 +370,23 @@ func buildRecipeParallel(m *amr.Mesh, layout Layout, curveName string, workers i
 }
 
 // runSpans drives the bounded worker pool: jobs[i] is executed exactly once
-// by some writer, each into its own span.
-func (ctx *buildContext) runSpans(numJobs, workers int, run func(w *spanWriter, job int) error) error {
+// by some writer, each into its own span. Cancellation is observed between
+// spans: once ctx is done no further span starts and the call returns
+// ctx.Err(), leaving the partially-written permutation to the caller to
+// discard.
+func (bctx *buildContext) runSpans(ctx context.Context, numJobs, workers int, run func(w *spanWriter, job int) error) error {
 	if workers > numJobs {
 		workers = numJobs
 	}
 	if workers <= 1 {
-		w, err := newSpanWriter(ctx)
+		w, err := newSpanWriter(bctx)
 		if err != nil {
 			return err
 		}
 		for i := 0; i < numJobs; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := run(w, i); err != nil {
 				return err
 			}
@@ -380,7 +395,7 @@ func (ctx *buildContext) runSpans(numJobs, workers int, run func(w *spanWriter, 
 	}
 	writers := make([]*spanWriter, workers)
 	for g := range writers {
-		w, err := newSpanWriter(ctx)
+		w, err := newSpanWriter(bctx)
 		if err != nil {
 			return err
 		}
@@ -394,15 +409,27 @@ func (ctx *buildContext) runSpans(numJobs, workers int, run func(w *spanWriter, 
 		go func(w *spanWriter) {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = run(w, i)
 			}
 		}(writers[g])
 	}
+dispatch:
 	for i := 0; i < numJobs; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -412,43 +439,43 @@ func (ctx *buildContext) runSpans(numJobs, workers int, run func(w *spanWriter, 
 }
 
 // buildTreesParallel fans the chained-tree layouts out across root trees.
-func (ctx *buildContext) buildTreesParallel(perm []int32, layout Layout, workers int) error {
-	roots, err := ctx.sortedRootsFast()
+func (bctx *buildContext) buildTreesParallel(ctx context.Context, perm []int32, layout Layout, workers int) error {
+	roots, err := bctx.sortedRootsFast()
 	if err != nil {
 		return err
 	}
-	t0 := ctx.met.now()
+	t0 := bctx.met.now()
 	spans := make([][]int32, len(roots))
 	off := 0
 	for i, id := range roots {
-		cells := ctx.subtreeBlocks(id) * ctx.cpb
+		cells := bctx.subtreeBlocks(id) * bctx.cpb
 		spans[i] = perm[off : off+cells]
 		off += cells
 	}
 	if off != len(perm) {
 		return fmt.Errorf("core: root spans cover %d of %d cells", off, len(perm))
 	}
-	if ctx.met != nil {
-		ctx.met.setup.Since(t0)
+	if bctx.met != nil {
+		bctx.met.setup.Since(t0)
 	}
-	return ctx.runSpans(len(roots), workers, func(w *spanWriter, i int) error {
+	return bctx.runSpans(ctx, len(roots), workers, func(w *spanWriter, i int) error {
 		return w.runTree(layout, roots[i], spans[i])
 	})
 }
 
 // buildLevelsParallel fans the within-level SFC layout out across levels.
-func (ctx *buildContext) buildLevelsParallel(perm []int32, workers int) error {
-	spans := make([][]int32, len(ctx.levels))
+func (bctx *buildContext) buildLevelsParallel(ctx context.Context, perm []int32, workers int) error {
+	spans := make([][]int32, len(bctx.levels))
 	off := 0
-	for l, ids := range ctx.levels {
-		size := len(ids) * ctx.cpb
+	for l, ids := range bctx.levels {
+		size := len(ids) * bctx.cpb
 		spans[l] = perm[off : off+size]
 		off += size
 	}
 	if off != len(perm) {
 		return fmt.Errorf("core: level spans cover %d of %d cells", off, len(perm))
 	}
-	return ctx.runSpans(len(spans), workers, func(w *spanWriter, l int) error {
+	return bctx.runSpans(ctx, len(spans), workers, func(w *spanWriter, l int) error {
 		return w.runLevel(l, spans[l])
 	})
 }

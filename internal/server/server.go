@@ -1,0 +1,388 @@
+// Package server implements zmeshd: an HTTP compression service around the
+// zMesh pipeline. A client registers a serialized mesh structure once and
+// then streams fields through compress/decompress endpoints; the server
+// amortizes recipe construction across requests with content-addressed
+// encoder/decoder caches (the paper's overhead claim, made cross-process),
+// sheds load past a bounded in-flight budget with 429 + Retry-After, and
+// drains gracefully on shutdown. See DESIGN.md "Service architecture".
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ExpvarName is the expvar key the server's telemetry registry is published
+// under (visible on /debug/vars).
+const ExpvarName = "zmeshd"
+
+// Config sizes the server. The zero value is usable: every field has a
+// production-sane default applied by New.
+type Config struct {
+	// MaxMeshes bounds the registered-mesh LRU (default 64). Evicted meshes
+	// return 404 until re-registered.
+	MaxMeshes int
+	// MaxEncoders bounds the (mesh, layout, curve, codec) encoder LRU
+	// (default 256).
+	MaxEncoders int
+	// MaxInflight is the admission budget: at most this many register,
+	// compress or decompress requests run concurrently; the rest are shed
+	// with 429 (default 2 × GOMAXPROCS).
+	MaxInflight int
+	// RetryAfter is the hint returned with 429 responses, rounded up to
+	// whole seconds for the Retry-After header (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (default 1 GiB).
+	MaxBodyBytes int64
+	// Registry receives all server, pipeline and recipe telemetry. New
+	// creates a private registry when nil; pass one to share it with
+	// zmesh.PublishMetrics / expvar.
+	Registry *zmesh.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxMeshes <= 0 {
+		c.MaxMeshes = 64
+	}
+	if c.MaxEncoders <= 0 {
+		c.MaxEncoders = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.Registry == nil {
+		c.Registry = zmesh.NewRegistry()
+	}
+}
+
+// endpointMetrics is the per-endpoint counter/timer set, resolved once at
+// construction: server.<ep>.requests|errors|shed|inflight plus a latency
+// timer. inflight is a gauge expressed as a counter (+1 on entry, −1 on
+// exit).
+type endpointMetrics struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	shed     *telemetry.Counter
+	inflight *telemetry.Counter
+	latency  *telemetry.Timer
+}
+
+func newEndpointMetrics(r *zmesh.Registry, ep string) *endpointMetrics {
+	return &endpointMetrics{
+		requests: r.Counter("server." + ep + ".requests"),
+		errors:   r.Counter("server." + ep + ".errors"),
+		shed:     r.Counter("server." + ep + ".shed"),
+		inflight: r.Counter("server." + ep + ".inflight"),
+		latency:  r.Timer("server." + ep + ".latency"),
+	}
+}
+
+// Server is the zmeshd HTTP service. Create with New, mount Handler (or use
+// Serve/ListenAndServe), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *zmesh.Registry
+	store *store
+	sem   chan struct{}
+	mux   *http.ServeMux
+	srv   *http.Server
+
+	mRegister   *endpointMetrics
+	mCompress   *endpointMetrics
+	mDecompress *endpointMetrics
+}
+
+// New constructs a server from cfg (zero-value fields get defaults).
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		store:       newStore(cfg.MaxMeshes, cfg.MaxEncoders, cfg.Registry),
+		sem:         make(chan struct{}, cfg.MaxInflight),
+		mRegister:   newEndpointMetrics(cfg.Registry, "register"),
+		mCompress:   newEndpointMetrics(cfg.Registry, "compress"),
+		mDecompress: newEndpointMetrics(cfg.Registry, "decompress"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+wire.PathMeshes, s.instrumented(s.mRegister, s.handleRegister))
+	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/compress", s.instrumented(s.mCompress, s.handleCompress))
+	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/decompress", s.instrumented(s.mDecompress, s.handleDecompress))
+	mux.HandleFunc("GET "+wire.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.Handle("GET "+wire.PathVars, expvar.Handler())
+	s.mux = mux
+	// Publish the registry so /debug/vars carries the server metrics. A
+	// later New (tests create many servers) retargets the name to the
+	// newest registry.
+	telemetry.Publish(ExpvarName, cfg.Registry)
+	return s
+}
+
+// Registry exposes the server's telemetry registry (the one Config.Registry
+// supplied, or the private one New created).
+func (s *Server) Registry() *zmesh.Registry { return s.reg }
+
+// Handler returns the full route table, including /healthz and /debug/vars.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, mirroring net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	s.srv = &http.Server{Handler: s.mux}
+	return s.srv.Serve(ln)
+}
+
+// Shutdown drains the server: no new connections are accepted, in-flight
+// requests run to completion (subject to ctx), then Serve returns. This is
+// what zmeshd runs on SIGTERM.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// instrumented wraps a handler with admission control and the endpoint's
+// request/inflight/latency/error accounting. Shed requests never reach the
+// handler: they cost one semaphore poll and a small JSON response.
+func (s *Server) instrumented(m *endpointMetrics, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Inc()
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			m.shed.Inc()
+			secs := int64(s.cfg.RetryAfter.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeError(w, http.StatusTooManyRequests, errors.New("server at capacity"))
+			return
+		}
+		defer func() { <-s.sem }()
+		m.inflight.Inc()
+		defer m.inflight.Add(-1)
+		t0 := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if err := h(w, r); err != nil {
+			m.errors.Inc()
+			writeError(w, statusFor(err), err)
+		}
+		m.latency.Since(t0)
+	}
+}
+
+// httpError carries an explicit status through the handler return path.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+
+func notFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, err: fmt.Errorf(format, args...)}
+}
+
+func statusFor(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error()})
+}
+
+// handleRegister: POST /v1/meshes, body = Mesh.Structure bytes.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) error {
+	structure, err := io.ReadAll(r.Body)
+	if err != nil {
+		return badRequest(fmt.Errorf("reading structure: %w", err))
+	}
+	if len(structure) == 0 {
+		return badRequest(errors.New("empty structure body"))
+	}
+	entry, created, err := s.store.register(structure)
+	if err != nil {
+		return badRequest(fmt.Errorf("decoding structure: %w", err))
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(wire.RegisterResponse{
+		MeshID:  entry.id,
+		Blocks:  entry.mesh.NumBlocks(),
+		Cells:   entry.mesh.NumBlocks() * entry.mesh.CellsPerBlock(),
+		Created: created,
+	})
+}
+
+// pipelineParams parses the shared layout/curve query parameters.
+func pipelineParams(r *http.Request) (zmesh.Options, error) {
+	opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"}
+	q := r.URL.Query()
+	if v := q.Get(wire.ParamLayout); v != "" {
+		layout, err := core.ParseLayout(v)
+		if err != nil {
+			return opt, badRequest(err)
+		}
+		opt.Layout = layout
+	}
+	if v := q.Get(wire.ParamCurve); v != "" {
+		opt.Curve = v
+	}
+	if v := q.Get(wire.ParamCodec); v != "" {
+		opt.Codec = v
+	}
+	return opt, nil
+}
+
+// handleCompress: POST /v1/meshes/{id}/compress?field=&layout=&curve=&codec=&bound=,
+// body = float64-LE level-order values; response = container-enveloped
+// payload with X-Zmesh-* metadata headers.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	entry, ok := s.store.lookup(id)
+	if !ok {
+		return notFound("mesh %s not registered", id)
+	}
+	opt, err := pipelineParams(r)
+	if err != nil {
+		return err
+	}
+	if _, err := compress.Get(opt.Codec); err != nil {
+		return badRequest(err)
+	}
+	boundStr := r.URL.Query().Get(wire.ParamBound)
+	if boundStr == "" {
+		return badRequest(errors.New("missing bound parameter (e.g. bound=abs:1e-3)"))
+	}
+	bound, err := wire.ParseBound(boundStr)
+	if err != nil {
+		return badRequest(err)
+	}
+	fieldName := r.URL.Query().Get(wire.ParamField)
+	if fieldName == "" {
+		fieldName = "field"
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return badRequest(fmt.Errorf("reading values: %w", err))
+	}
+	values, err := wire.DecodeFloats(body)
+	if err != nil {
+		return badRequest(err)
+	}
+	f, err := zmesh.FieldFromValues(entry.mesh, fieldName, values)
+	if err != nil {
+		return badRequest(err)
+	}
+	enc, err := s.store.encoder(entry, opt)
+	if err != nil {
+		return err
+	}
+	cs, err := enc.CompressFieldsContext(r.Context(), []*zmesh.Field{f}, bound, 1)
+	if err != nil {
+		// Covers client-gone cancellation too: the response is unreachable
+		// then, but the error still counts toward the endpoint metrics.
+		return err
+	}
+	c := cs[0]
+	h := w.Header()
+	h.Set("Content-Type", wire.ContentTypeBinary)
+	h.Set(wire.HeaderField, c.FieldName)
+	h.Set(wire.HeaderLayout, c.Layout.String())
+	h.Set(wire.HeaderCurve, c.Curve)
+	h.Set(wire.HeaderCodec, c.Codec)
+	h.Set(wire.HeaderNumValues, strconv.Itoa(c.NumValues))
+	_, err = w.Write(c.Payload)
+	return err
+}
+
+// handleDecompress: POST /v1/meshes/{id}/decompress?field=&layout=&curve=,
+// body = container-enveloped payload; response = float64-LE level-order
+// values. The codec is taken from the envelope itself.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	entry, ok := s.store.lookup(id)
+	if !ok {
+		return notFound("mesh %s not registered", id)
+	}
+	opt, err := pipelineParams(r)
+	if err != nil {
+		return err
+	}
+	fieldName := r.URL.Query().Get(wire.ParamField)
+	if fieldName == "" {
+		fieldName = "field"
+	}
+	payload, err := io.ReadAll(r.Body)
+	if err != nil {
+		return badRequest(fmt.Errorf("reading payload: %w", err))
+	}
+	if len(payload) == 0 {
+		return badRequest(errors.New("empty payload body"))
+	}
+	c := &zmesh.Compressed{
+		FieldName: fieldName,
+		Layout:    opt.Layout,
+		Curve:     opt.Curve,
+		// Codec and NumValues stay zero: the container envelope is
+		// authoritative and the decoder validates against it.
+		Payload: payload,
+	}
+	fs, err := entry.dec.DecompressFieldsContext(r.Context(), []*zmesh.Compressed{c}, 1)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return err // client gone; keep the cancellation out of 4xx stats
+		}
+		return badRequest(err) // corrupt envelope/payload is the client's fault
+	}
+	values := zmesh.FieldValues(fs[0])
+	h := w.Header()
+	h.Set("Content-Type", wire.ContentTypeBinary)
+	h.Set(wire.HeaderField, fieldName)
+	h.Set(wire.HeaderNumValues, strconv.Itoa(len(values)))
+	_, err = w.Write(wire.AppendFloats(make([]byte, 0, 8*len(values)), values))
+	return err
+}

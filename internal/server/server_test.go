@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	zmesh "repro"
+	"repro/client"
+)
+
+// testMesh builds the deterministic topology and field shared by the server
+// tests: a 2×2-root 8²-block 2D mesh with two refined roots.
+func testMesh(t testing.TB) (*zmesh.Mesh, *zmesh.Field) {
+	t.Helper()
+	m, err := zmesh.NewMesh(2, 8, [3]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refine(m.Roots()[2]); err != nil {
+		t.Fatal(err)
+	}
+	f := zmesh.SampleField(m, "dens", func(x, y, z float64) float64 {
+		return math.Sin(5*x)*math.Cos(4*y) + 0.1*x*y
+	})
+	return m, f
+}
+
+func testBound() zmesh.Bound { return zmesh.AbsBound(1e-3) }
+
+// newTestServer boots a Server on an httptest listener and returns it with
+// a retrying client.
+func newTestServer(t testing.TB, cfg Config) (*Server, *client.Client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL, client.WithBackoff(time.Millisecond, 50*time.Millisecond), client.WithMaxRetries(20))
+	return s, cl
+}
+
+// TestRoundTripAllCodecs pins the acceptance criterion: a field compressed
+// via the server and decompressed via the client is bit-identical to the
+// pure-library path, for every registered codec — and the on-wire payload
+// itself matches the library's artifact byte for byte.
+func TestRoundTripAllCodecs(t *testing.T) {
+	m, f := testMesh(t)
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	id, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MeshID(m.Structure()); id != want {
+		t.Fatalf("mesh id %s, want %s", id, want)
+	}
+	for _, codec := range zmesh.Codecs() {
+		codec := codec
+		t.Run(codec, func(t *testing.T) {
+			opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: codec}
+			got, err := cl.CompressField(ctx, id, f, opt, testBound())
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := zmesh.NewEncoder(m, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := enc.CompressField(f, testBound())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("server payload differs from library payload (%d vs %d bytes)", len(got.Payload), len(want.Payload))
+			}
+			if got.NumValues != want.NumValues || got.Codec != want.Codec || got.Curve != want.Curve || got.Layout != want.Layout {
+				t.Fatalf("artifact metadata differs: %+v vs %+v", got, want)
+			}
+			values, err := cl.Decompress(ctx, id, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			libField, err := zmesh.NewDecoder(m).DecompressField(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			libValues := zmesh.FieldValues(libField)
+			if len(values) != len(libValues) {
+				t.Fatalf("got %d values, library yields %d", len(values), len(libValues))
+			}
+			for i := range values {
+				if math.Float64bits(values[i]) != math.Float64bits(libValues[i]) {
+					t.Fatalf("value %d: server path %x, library path %x", i,
+						math.Float64bits(values[i]), math.Float64bits(libValues[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestRegisterIdempotent: re-registering the same structure returns the
+// same content-addressed ID without creating a second entry, and a corrupt
+// structure is rejected with 400 (no retries burned).
+func TestRegisterIdempotent(t *testing.T) {
+	m, _ := testMesh(t)
+	s, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	id1, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("re-registration changed the id: %s vs %s", id1, id2)
+	}
+	if got := s.Registry().Counter("server.mesh.registered").Load(); got != 1 {
+		t.Fatalf("registered counter = %d, want 1", got)
+	}
+	if _, err := cl.RegisterMesh(ctx, []byte("not a structure")); err == nil {
+		t.Fatal("corrupt structure registered successfully")
+	} else {
+		var se *client.StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Fatalf("corrupt structure: got %v, want 400 StatusError", err)
+		}
+	}
+}
+
+// TestAdmissionShed sets the semaphore to 2, saturates it, and asserts that
+// an excess request is shed with 429 + Retry-After — and that the retrying
+// client eventually succeeds once capacity frees up.
+func TestAdmissionShed(t *testing.T) {
+	m, f := testMesh(t)
+	s, cl := newTestServer(t, Config{MaxInflight: 2, RetryAfter: time.Second})
+	ctx := context.Background()
+	id, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate both admission slots from the test.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+
+	values := zmesh.FieldValues(f)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Compress(ctx, id, "dens", values, zmesh.DefaultOptions(), testBound())
+		done <- err
+	}()
+
+	// The retrying client must be observing sheds while the slots are held.
+	shed := s.Registry().Counter("server.compress.shed")
+	waitFor(t, 5*time.Second, func() bool { return shed.Load() > 0 })
+
+	// Free the slots; the client's backoff must now succeed.
+	<-s.sem
+	<-s.sem
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retrying client failed after capacity freed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("retrying client did not complete after capacity freed")
+	}
+}
+
+// TestShedResponseShape checks the raw 429: Retry-After header and JSON
+// error body.
+func TestShedResponseShape(t *testing.T) {
+	s := New(Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	resp, err := http.Post(ts.URL+"/v1/meshes", "application/octet-stream", bytes.NewReader([]byte{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("capacity")) {
+		t.Fatalf("shed body %q carries no capacity message", body)
+	}
+}
+
+// TestConcurrentClients is the race-detector hammer: 16 concurrent clients
+// compress and decompress against a semaphore of 2, so load shedding, the
+// client backoff, the encoder cache and the decoder recipe cache all run
+// concurrently. Every request must eventually succeed.
+func TestConcurrentClients(t *testing.T) {
+	m, f := testMesh(t)
+	_, cl := newTestServer(t, Config{MaxInflight: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	id, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := zmesh.FieldValues(f)
+	curves := []string{"hilbert", "morton", "rowmajor"}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: curves[g%len(curves)], Codec: "sz"}
+			for iter := 0; iter < 3; iter++ {
+				c, err := cl.Compress(ctx, id, "dens", values, opt, testBound())
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				out, err := cl.Decompress(ctx, id, c)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if len(out) != len(values) {
+					errs[g] = errors.New("length mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", g, err)
+		}
+	}
+}
+
+// TestCacheHitKeepsRecipeBuildsFlat pins the amortization criterion: the
+// second compress request against an already-registered mesh must not
+// rebuild the recipe — the recipe.builds counter stays flat on a cache hit
+// and moves only when a new (layout, curve, codec) pipeline is requested.
+func TestCacheHitKeepsRecipeBuildsFlat(t *testing.T) {
+	m, f := testMesh(t)
+	s, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	id, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := s.Registry().Counter("recipe.builds")
+	hits := s.Registry().Counter("server.cache.hits")
+
+	opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"}
+	if _, err := cl.CompressField(ctx, id, f, opt, testBound()); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := builds.Load()
+	if afterFirst == 0 {
+		t.Fatal("first compress did not record a recipe build")
+	}
+	if _, err := cl.CompressField(ctx, id, f, opt, testBound()); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != afterFirst {
+		t.Fatalf("recipe.builds moved %d → %d on a cache hit", afterFirst, got)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("second compress did not count a cache hit")
+	}
+	// A different curve is a different pipeline: exactly one more build.
+	opt.Curve = "morton"
+	if _, err := cl.CompressField(ctx, id, f, opt, testBound()); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != afterFirst+1 {
+		t.Fatalf("recipe.builds = %d after new curve, want %d", got, afterFirst+1)
+	}
+}
+
+// TestDrain pins graceful shutdown: with a request still in flight (its
+// body held open), Shutdown must wait for it to complete successfully
+// before Serve returns.
+func TestDrain(t *testing.T) {
+	m, _ := testMesh(t)
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	ctx := context.Background()
+	cl := client.New(base)
+	if _, err := cl.Register(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold a register request in flight by streaming its body slowly: the
+	// handler blocks reading until the pipe is closed.
+	pr, pw := io.Pipe()
+	reqDone := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/meshes", pr)
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			body, _ := io.ReadAll(resp.Body)
+			reqDone <- errors.New("in-flight request failed: " + resp.Status + " " + string(body))
+			return
+		}
+		reqDone <- nil
+	}()
+	structure := m.Structure()
+	if _, err := pw.Write(structure[:1]); err != nil {
+		t.Fatal(err)
+	}
+	inflight := s.Registry().Counter("server.register.inflight")
+	waitFor(t, 5*time.Second, func() bool { return inflight.Load() > 0 })
+
+	// Begin the drain while the request is still open.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Give Shutdown a moment to start, then finish the request body.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v before the in-flight request completed", err)
+	default:
+	}
+	if _, err := pw.Write(structure[1:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}
+
+// TestEndpointMetrics checks the latency/request accounting end to end.
+func TestEndpointMetrics(t *testing.T) {
+	m, f := testMesh(t)
+	s, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	id, err := cl.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.CompressField(ctx, id, f, zmesh.DefaultOptions(), testBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Decompress(ctx, id, c); err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	for _, name := range []string{"server.register.requests", "server.compress.requests", "server.decompress.requests"} {
+		if reg.Counter(name).Load() == 0 {
+			t.Fatalf("%s = 0 after a full round trip", name)
+		}
+	}
+	for _, name := range []string{"server.compress.latency", "server.decompress.latency"} {
+		if reg.Timer(name).TotalNs() == 0 {
+			t.Fatalf("%s recorded no time", name)
+		}
+	}
+	// Unknown mesh must 404 without a retry storm.
+	_, err = cl.Compress(ctx, "deadbeef", "x", zmesh.FieldValues(f), zmesh.DefaultOptions(), testBound())
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("unknown mesh: got %v, want 404", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

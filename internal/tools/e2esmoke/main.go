@@ -1,0 +1,220 @@
+// Command e2esmoke is the CI end-to-end smoke test for zmeshd: it boots a
+// built daemon binary on an ephemeral port, round-trips a generated
+// simulation checkpoint through the public client, checks the result
+// bit-identical to the in-process library path, scrapes /debug/vars for the
+// expected telemetry, and finally SIGTERMs the daemon and requires a clean
+// drain (exit code 0).
+//
+// Usage (mirrors .github/workflows/ci.yml):
+//
+//	go build -o /tmp/zmeshd ./cmd/zmeshd
+//	go run ./internal/tools/e2esmoke -bin /tmp/zmeshd
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	zmesh "repro"
+	"repro/client"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+const listenPrefix = "zmeshd: listening on "
+
+func main() {
+	var (
+		bin     = flag.String("bin", "", "path to a built zmeshd binary (required)")
+		problem = flag.String("problem", "sod", "simulation problem for the test checkpoint")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "e2esmoke: -bin is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *bin, *problem); err != nil {
+		fmt.Fprintf(os.Stderr, "e2esmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("e2esmoke: PASS")
+}
+
+func run(ctx context.Context, bin, problem string) error {
+	cmd := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", bin, err)
+	}
+	// If we bail out early for any reason, don't leave an orphan daemon.
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// The daemon prints its bound address to stdout once the listener is up.
+	baseURL := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if u, ok := strings.CutPrefix(line, listenPrefix); ok {
+				baseURL <- strings.TrimSpace(u)
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-baseURL:
+	case <-ctx.Done():
+		return fmt.Errorf("daemon never announced its address: %w", ctx.Err())
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("daemon never announced its address within 15s")
+	}
+	fmt.Printf("e2esmoke: daemon up at %s\n", base)
+
+	if err := roundTrip(ctx, base, problem); err != nil {
+		return err
+	}
+	if err := checkVars(ctx, base); err != nil {
+		return err
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signaling daemon: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-ctx.Done():
+		return fmt.Errorf("daemon did not exit after SIGTERM: %w", ctx.Err())
+	}
+	fmt.Println("e2esmoke: daemon drained cleanly")
+	return nil
+}
+
+// roundTrip registers a generated checkpoint and pushes its fields through
+// the service, requiring byte-identical artifacts and bit-identical
+// reconstructions versus the in-process library path.
+func roundTrip(ctx context.Context, base, problem string) error {
+	ck, err := zmesh.Generate(problem, zmesh.GenerateOptions{Resolution: 64})
+	if err != nil {
+		return fmt.Errorf("generating checkpoint: %w", err)
+	}
+	opt := zmesh.DefaultOptions()
+	bound := zmesh.AbsBound(1e-3)
+
+	enc, err := zmesh.NewEncoder(ck.Mesh, opt)
+	if err != nil {
+		return err
+	}
+	dec := zmesh.NewDecoder(ck.Mesh)
+
+	cl := client.New(base)
+	id, err := cl.Register(ctx, ck.Mesh)
+	if err != nil {
+		return fmt.Errorf("registering mesh: %w", err)
+	}
+	fmt.Printf("e2esmoke: registered %s checkpoint as %s (%d fields)\n", problem, id[:12], len(ck.Fields))
+
+	for _, f := range ck.Fields {
+		want, err := enc.CompressField(f, bound)
+		if err != nil {
+			return fmt.Errorf("library compress %s: %w", f.Name, err)
+		}
+		got, err := cl.CompressField(ctx, id, f, opt, bound)
+		if err != nil {
+			return fmt.Errorf("server compress %s: %w", f.Name, err)
+		}
+		if string(got.Payload) != string(want.Payload) {
+			return fmt.Errorf("field %s: server artifact differs from library artifact (%d vs %d bytes)",
+				f.Name, len(got.Payload), len(want.Payload))
+		}
+		wantField, err := dec.DecompressField(want)
+		if err != nil {
+			return fmt.Errorf("library decompress %s: %w", f.Name, err)
+		}
+		values, err := cl.Decompress(ctx, id, got)
+		if err != nil {
+			return fmt.Errorf("server decompress %s: %w", f.Name, err)
+		}
+		wantValues := zmesh.FieldValues(wantField)
+		if len(values) != len(wantValues) {
+			return fmt.Errorf("field %s: %d values from server, library has %d", f.Name, len(values), len(wantValues))
+		}
+		for i := range values {
+			if math.Float64bits(values[i]) != math.Float64bits(wantValues[i]) {
+				return fmt.Errorf("field %s: value %d differs: server %x, library %x",
+					f.Name, i, math.Float64bits(values[i]), math.Float64bits(wantValues[i]))
+			}
+		}
+		fmt.Printf("e2esmoke: field %-8s round-tripped bit-exact (%d values, %d byte artifact)\n",
+			f.Name, len(values), len(got.Payload))
+	}
+	return nil
+}
+
+// checkVars scrapes /debug/vars and requires the daemon's telemetry to show
+// the traffic we just sent: requests counted, recipes built, cache hits
+// from the second-and-later fields reusing the encoder.
+func checkVars(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+wire.PathVars, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("scraping %s: %w", wire.PathVars, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %d", wire.PathVars, resp.StatusCode)
+	}
+	var vars struct {
+		Zmeshd telemetry.Snapshot `json:"zmeshd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return fmt.Errorf("parsing %s: %w", wire.PathVars, err)
+	}
+	checks := []struct {
+		name string
+		min  int64
+	}{
+		{"server.register.requests", 1},
+		{"server.compress.requests", 1},
+		{"server.decompress.requests", 1},
+		{"server.cache.misses", 1},
+		{"server.cache.hits", 1}, // later fields reuse the first field's encoder
+		{"recipe.builds", 1},
+	}
+	for _, c := range checks {
+		if got := vars.Zmeshd.Counters[c.name]; got < c.min {
+			return fmt.Errorf("/debug/vars counter %s = %d, want >= %d (counters: %v)",
+				c.name, got, c.min, vars.Zmeshd.Counters)
+		}
+	}
+	fmt.Printf("e2esmoke: telemetry ok (%d recipe builds, %d cache hits, %d compress requests)\n",
+		vars.Zmeshd.Counters["recipe.builds"], vars.Zmeshd.Counters["server.cache.hits"],
+		vars.Zmeshd.Counters["server.compress.requests"])
+	return nil
+}

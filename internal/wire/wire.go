@@ -1,0 +1,139 @@
+// Package wire defines the zmeshd HTTP protocol constants and the small
+// encoding helpers shared by the server (internal/server) and the public
+// client package. Keeping them in one place makes the wire format a single
+// point of truth: header names, the error-bound grammar, and the raw
+// float64 framing used for field value streams.
+//
+// Protocol summary (see DESIGN.md "Service architecture"):
+//
+//	POST /v1/meshes                      body = Mesh.Structure bytes
+//	  -> 200/201 JSON RegisterResponse   mesh_id = SHA-256(structure)
+//	POST /v1/meshes/{id}/compress        body = float64-LE level-order values
+//	  ?field=&layout=&curve=&codec=&bound=
+//	  -> 200 container-enveloped payload, X-Zmesh-* metadata headers
+//	POST /v1/meshes/{id}/decompress      body = container-enveloped payload
+//	  ?field=&layout=&curve=
+//	  -> 200 float64-LE level-order values, X-Zmesh-Num-Values header
+//
+// Overloaded servers shed with 429 + Retry-After (seconds); errors are JSON
+// ErrorResponse bodies with conventional status codes.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/compress"
+)
+
+// Paths and path helpers.
+const (
+	// PathMeshes is the mesh registration collection.
+	PathMeshes = "/v1/meshes"
+	// PathVars is where the server exposes its expvar page (telemetry
+	// registry included).
+	PathVars = "/debug/vars"
+	// PathHealth is the liveness probe.
+	PathHealth = "/healthz"
+)
+
+// CompressPath returns the compress endpoint for a registered mesh.
+func CompressPath(meshID string) string { return PathMeshes + "/" + meshID + "/compress" }
+
+// DecompressPath returns the decompress endpoint for a registered mesh.
+func DecompressPath(meshID string) string { return PathMeshes + "/" + meshID + "/decompress" }
+
+// Metadata headers. Compression responses carry the full artifact metadata
+// so a client can reconstruct a zmesh.Compressed without parsing the
+// envelope.
+const (
+	HeaderField     = "X-Zmesh-Field"
+	HeaderLayout    = "X-Zmesh-Layout"
+	HeaderCurve     = "X-Zmesh-Curve"
+	HeaderCodec     = "X-Zmesh-Codec"
+	HeaderNumValues = "X-Zmesh-Num-Values"
+
+	ContentTypeBinary = "application/octet-stream"
+	ContentTypeJSON   = "application/json"
+)
+
+// Query parameter names of the compress/decompress endpoints.
+const (
+	ParamField  = "field"
+	ParamLayout = "layout"
+	ParamCurve  = "curve"
+	ParamCodec  = "codec"
+	ParamBound  = "bound"
+)
+
+// RegisterResponse is the JSON body of a successful mesh registration.
+type RegisterResponse struct {
+	// MeshID is the hex SHA-256 of the structure bytes — content-addressed,
+	// so re-registering the same topology is idempotent.
+	MeshID string `json:"mesh_id"`
+	// Blocks and Cells describe the decoded topology.
+	Blocks int `json:"blocks"`
+	Cells  int `json:"cells"`
+	// Created is false when the mesh was already registered (the request
+	// only refreshed its cache recency).
+	Created bool `json:"created"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// FormatBound renders an error bound in the wire grammar: "abs:<v>" or
+// "rel:<v>".
+func FormatBound(b compress.Bound) string {
+	return fmt.Sprintf("%s:%g", b.Mode, b.Value)
+}
+
+// ParseBound parses the "abs:<v>" / "rel:<v>" grammar produced by
+// FormatBound. The value must be a positive finite float.
+func ParseBound(s string) (compress.Bound, error) {
+	mode, val, ok := strings.Cut(s, ":")
+	if !ok {
+		return compress.Bound{}, fmt.Errorf("wire: bound %q: want \"abs:<v>\" or \"rel:<v>\"", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return compress.Bound{}, fmt.Errorf("wire: bound %q: %w", s, err)
+	}
+	if !(v > 0) || math.IsInf(v, 0) {
+		return compress.Bound{}, fmt.Errorf("wire: bound %q: value must be positive and finite", s)
+	}
+	switch mode {
+	case "abs":
+		return compress.AbsBound(v), nil
+	case "rel":
+		return compress.RelBound(v), nil
+	}
+	return compress.Bound{}, fmt.Errorf("wire: bound %q: unknown mode %q", s, mode)
+}
+
+// AppendFloats appends vals to dst in the wire framing: little-endian IEEE
+// 754 float64, no header — the stream length is the byte length / 8.
+func AppendFloats(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeFloats decodes a float64-LE stream. The byte length must be a
+// multiple of 8.
+func DecodeFloats(buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("wire: value stream is %d bytes, not a multiple of 8", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

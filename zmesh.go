@@ -19,6 +19,7 @@
 package zmesh
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -190,8 +191,18 @@ type Encoder struct {
 
 // NewEncoder derives the recipe for the mesh and layout.
 func NewEncoder(m *Mesh, opt Options) (*Encoder, error) {
+	return NewEncoderObserved(m, opt, nil)
+}
+
+// NewEncoderObserved is NewEncoder with telemetry: the recipe construction
+// records the recipe.* stage timers and counters into r, and the returned
+// encoder comes back already instrumented (as if Instrument(r) had been
+// called). A nil registry makes it identical to NewEncoder. Long-lived
+// services that cache encoders use this so cache misses are visible as
+// recipe.builds increments while cache hits leave the counter flat.
+func NewEncoderObserved(m *Mesh, opt Options, r *Registry) (*Encoder, error) {
 	opt.fillDefaults()
-	recipe, err := core.BuildRecipe(m, opt.Layout, opt.Curve)
+	recipe, err := core.BuildRecipeObserved(m, opt.Layout, opt.Curve, 0, r)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +210,11 @@ func NewEncoder(m *Mesh, opt Options) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Encoder{opt: opt, mesh: m, recipe: recipe, codec: codec}, nil
+	e := &Encoder{opt: opt, mesh: m, recipe: recipe, codec: codec}
+	if r != nil {
+		e.Instrument(r)
+	}
+	return e, nil
 }
 
 // CompressField serializes the field in the encoder's layout and compresses
@@ -215,12 +230,19 @@ func (e *Encoder) CompressField(f *Field, bound Bound) (*Compressed, error) {
 // a checkpoint writer compressing many variables does. workers <= 0 uses
 // GOMAXPROCS.
 func (e *Encoder) CompressFields(fields []*Field, bound Bound, workers int) ([]*Compressed, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return e.CompressFieldsContext(context.Background(), fields, bound, workers)
+}
+
+// CompressFieldsContext is CompressFields with cancellation. The worker pool
+// observes ctx between fields — an in-flight codec call runs to completion,
+// but no further field starts once ctx is done, and the call returns
+// ctx.Err(). An empty fields slice returns an empty result without spinning
+// up any workers.
+func (e *Encoder) CompressFieldsContext(ctx context.Context, fields []*Field, bound Bound, workers int) ([]*Compressed, error) {
+	if len(fields) == 0 {
+		return []*Compressed{}, nil
 	}
-	if workers > len(fields) {
-		workers = len(fields)
-	}
+	workers = clampWorkers(workers, len(fields))
 	// Per-worker codecs: implementations keep no cross-call state, but
 	// isolating instances keeps the contract local. Instantiate before the
 	// job loop so a registry failure aborts the whole call instead of
@@ -246,21 +268,50 @@ func (e *Encoder) CompressFields(fields []*Field, bound Bound, workers int) ([]*
 			// stream buffers per worker instead of two per field.
 			var scratch encodeScratch
 			for idx := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
 				out[idx], errs[idx] = e.compressInto(codec, fields[idx], bound, &scratch)
 			}
 		}(codecs[w])
 	}
+dispatch:
 	for i := range fields {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("zmesh: field %q: %w", fields[i].Name, err)
 		}
 	}
 	return out, nil
+}
+
+// clampWorkers resolves a requested worker-pool size against a job count:
+// non-positive requests default to GOMAXPROCS, the pool never exceeds the
+// number of jobs, and at least one worker always runs. It is the single
+// clamp shared by the encode and decode pools.
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // encodeScratch carries the reusable stream buffers of one compression
@@ -505,12 +556,19 @@ func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []fl
 // All workers share the decoder's recipe cache (safe for concurrent use).
 // workers <= 0 uses GOMAXPROCS.
 func (d *Decoder) DecompressFields(cs []*Compressed, workers int) ([]*Field, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return d.DecompressFieldsContext(context.Background(), cs, workers)
+}
+
+// DecompressFieldsContext is DecompressFields with cancellation. The worker
+// pool observes ctx between artifacts — an in-flight decode runs to
+// completion, but no further artifact starts once ctx is done, and the call
+// returns ctx.Err(). An empty cs slice returns an empty result without
+// spinning up any workers.
+func (d *Decoder) DecompressFieldsContext(ctx context.Context, cs []*Compressed, workers int) ([]*Field, error) {
+	if len(cs) == 0 {
+		return []*Field{}, nil
 	}
-	if workers > len(cs) {
-		workers = len(cs)
-	}
+	workers = clampWorkers(workers, len(cs))
 	out := make([]*Field, len(cs))
 	errs := make([]error, len(cs))
 	jobs := make(chan int)
@@ -522,15 +580,27 @@ func (d *Decoder) DecompressFields(cs []*Compressed, workers int) ([]*Field, err
 			// Per-worker scratch for the restored stream (see decompressInto).
 			var flat []float64
 			for idx := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
 				out[idx], flat, errs[idx] = d.decompressInto(cs[idx], flat)
 			}
 		}()
 	}
+dispatch:
 	for i := range cs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("zmesh: field %q: %w", cs[i].FieldName, err)
@@ -576,4 +646,16 @@ func PSNR(orig, recon *Field) (float64, error) {
 // level order (the baseline stream).
 func FieldValues(f *Field) []float64 {
 	return amr.Flatten(amr.LevelArrays(f))
+}
+
+// FieldFromValues rebuilds a field bound to m from its level-order stream —
+// the inverse of FieldValues. The stream length must match the mesh's cell
+// count exactly. This is how a process that received raw values over a wire
+// (e.g. the zmeshd compression service) re-binds them to a mesh topology.
+func FieldFromValues(m *Mesh, name string, values []float64) (*Field, error) {
+	levels, err := amr.SplitLevels(m, values)
+	if err != nil {
+		return nil, err
+	}
+	return amr.FieldFromLevelArrays(m, name, levels)
 }
