@@ -19,12 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	zmesh "repro"
@@ -42,8 +41,10 @@ type Client struct {
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// jitterState drives the backoff jitter: a splitmix64 sequence advanced
+	// with a single atomic add, so concurrent retry loops never contend on a
+	// lock (or race on a shared *rand.Rand) just to sleep.
+	jitterState atomic.Uint64
 }
 
 // Option customizes a Client.
@@ -72,8 +73,8 @@ func New(baseURL string, opts ...Option) *Client {
 		maxRetries:  6,
 		baseBackoff: 50 * time.Millisecond,
 		maxBackoff:  2 * time.Second,
-		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	c.jitterState.Store(uint64(time.Now().UnixNano()))
 	for _, o := range opts {
 		o(c)
 	}
@@ -104,23 +105,54 @@ func retryable(status int) bool {
 	return false
 }
 
-// jitter picks a uniform duration in [d/2, d].
+// jitter picks a uniform duration in [d/2, d] from the lock-free splitmix64
+// stream.
 func (c *Client) jitter(d time.Duration) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	c.mu.Lock()
-	f := c.rng.Float64()
-	c.mu.Unlock()
+	z := c.jitterState.Add(0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	f := float64(z>>11) / float64(uint64(1)<<53) // uniform in [0, 1)
 	return d/2 + time.Duration(f*float64(d/2))
 }
 
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("3") or HTTP-date ("Wed, 21 Oct 2015 07:28:00 GMT",
+// interpreted relative to now and floored at zero). Unparseable or negative
+// hints report !ok so the caller falls back to computed backoff.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // backoffDelay computes the wait before retry attempt (1-based), honoring a
-// Retry-After hint when the server provided one.
+// Retry-After hint when the server provided one. Hints are clamped to the
+// configured maximum backoff: one server asking for a minute must not stall
+// the retry loop longer than the caller budgeted.
 func (c *Client) backoffDelay(attempt int, retryAfter string) time.Duration {
 	if retryAfter != "" {
-		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(retryAfter, time.Now()); ok {
+			if d > c.maxBackoff {
+				d = c.maxBackoff
+			}
+			return d
 		}
 	}
 	d := c.baseBackoff << uint(attempt-1)

@@ -1,0 +1,124 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testClient(opts ...Option) *Client {
+	return New("http://unused", opts...)
+}
+
+// TestBackoffDelaySeconds pins the integer-seconds Retry-After form,
+// including the clamp to the configured maximum backoff.
+func TestBackoffDelaySeconds(t *testing.T) {
+	c := testClient(WithBackoff(50*time.Millisecond, 2*time.Second))
+	if d := c.backoffDelay(1, "1"); d != time.Second {
+		t.Fatalf("Retry-After: 1 -> %v, want 1s", d)
+	}
+	if d := c.backoffDelay(1, "0"); d != 0 {
+		t.Fatalf("Retry-After: 0 -> %v, want 0", d)
+	}
+	// A hint beyond the budget clamps instead of stalling the retry loop.
+	if d := c.backoffDelay(1, "60"); d != 2*time.Second {
+		t.Fatalf("Retry-After: 60 -> %v, want clamp to 2s", d)
+	}
+}
+
+// TestBackoffDelayHTTPDate pins the HTTP-date Retry-After form (RFC 9110
+// allows either): future dates wait until then (clamped), past dates retry
+// immediately, and garbage falls back to computed backoff.
+func TestBackoffDelayHTTPDate(t *testing.T) {
+	c := testClient(WithBackoff(50*time.Millisecond, 2*time.Second))
+
+	future := time.Now().Add(1200 * time.Millisecond).UTC().Format(http.TimeFormat)
+	d := c.backoffDelay(1, future)
+	// http.TimeFormat has second granularity, so allow [0, 2s]; the point is
+	// that the form parses and does not fall back to the 25-50ms jitter.
+	if d < 100*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("future HTTP-date -> %v, want a near-1s wait", d)
+	}
+
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := c.backoffDelay(1, past); d != 0 {
+		t.Fatalf("past HTTP-date -> %v, want 0", d)
+	}
+
+	farFuture := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	if d := c.backoffDelay(1, farFuture); d != 2*time.Second {
+		t.Fatalf("far-future HTTP-date -> %v, want clamp to 2s", d)
+	}
+
+	if d := c.backoffDelay(1, "not a date"); d < 25*time.Millisecond || d > 50*time.Millisecond {
+		t.Fatalf("garbage hint -> %v, want jittered base backoff in [25ms, 50ms]", d)
+	}
+}
+
+// TestBackoffDelayComputed pins the exponential window: attempt i waits a
+// jittered duration in [base*2^(i-1)/2, base*2^(i-1)], capped at max.
+func TestBackoffDelayComputed(t *testing.T) {
+	c := testClient(WithBackoff(100*time.Millisecond, time.Second))
+	for attempt, want := range map[int]time.Duration{1: 100 * time.Millisecond, 2: 200 * time.Millisecond, 3: 400 * time.Millisecond} {
+		for i := 0; i < 50; i++ {
+			d := c.backoffDelay(attempt, "")
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// Past the cap every attempt waits within [max/2, max].
+	if d := c.backoffDelay(30, ""); d < 500*time.Millisecond || d > time.Second {
+		t.Fatalf("capped attempt: delay %v outside [500ms, 1s]", d)
+	}
+}
+
+// TestConcurrentRetryJitter drives many goroutines through the retry loop of
+// one shared Client against a server that sheds half the requests with 429.
+// Run under -race (ci.yml does) this pins the lock-free jitter: the old
+// shared *rand.Rand made concurrent backoffDelay calls a data race.
+func TestConcurrentRetryJitter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithBackoff(time.Microsecond, time.Millisecond), WithMaxRetries(8))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, _, errs[g] = c.do(ctx, http.MethodPost, srv.URL+"/x", "", nil)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	// The jitter stream must actually vary (a frozen state would synchronize
+	// every retry storm).
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 8; i++ {
+		seen[c.jitter(time.Second)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter returned a constant sequence")
+	}
+}

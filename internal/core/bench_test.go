@@ -87,6 +87,24 @@ func BenchmarkApplyTo(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyToSerial is the straightforward-loop baseline for
+// BenchmarkApplyTo: the ratio between the two is the kernel speedup the CI
+// gate enforces (report.MeasureCIGate, apply_speedup).
+func BenchmarkApplyToSerial(b *testing.B) {
+	r, flat := applyRestoreMesh(b)
+	dst := make([]float64, r.Len())
+	b.SetBytes(int64(len(flat) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = r.ApplyToSerial(dst, flat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRestore measures the allocating restore path.
 func BenchmarkRestore(b *testing.B) {
 	r, flat := applyRestoreMesh(b)
@@ -99,6 +117,26 @@ func BenchmarkRestore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Restore(ordered); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestoreToSerial is the straightforward-loop baseline for
+// BenchmarkRestoreTo.
+func BenchmarkRestoreToSerial(b *testing.B) {
+	r, flat := applyRestoreMesh(b)
+	ordered, err := r.Apply(flat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, r.Len())
+	b.SetBytes(int64(len(flat) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = r.RestoreToSerial(dst, ordered)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

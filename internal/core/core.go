@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"repro/internal/amr"
 	"repro/internal/sfc"
@@ -86,6 +87,26 @@ type Recipe struct {
 	n      int
 	// perm[t] is the level-order position of the value at target position t.
 	perm []int32
+
+	// Kernel-safety validation state: the tuned gather/scatter kernels elide
+	// the random-side bounds check (see kernel.go), which is sound only when
+	// every perm entry lies in [0, n). Builders guarantee that by
+	// construction; verifyOnce re-checks it once per recipe as defense in
+	// depth, and a recipe that fails is refused by ApplyTo/RestoreTo.
+	verifyOnce sync.Once
+	unsafeOK   bool
+}
+
+// KernelTier reports which apply/restore kernel tier this binary was built
+// with: "unsafe" (the default pointer-walking kernels) or "portable"
+// (`-tags zmesh_portable`, blocked kernels with no unsafe). Performance
+// gates key on this — the unsafe tier's speedup floor does not bind the
+// portable tier.
+func KernelTier() string {
+	if kernelUnsafe {
+		return "unsafe"
+	}
+	return "portable"
 }
 
 // Layout reports the recipe's target layout.
@@ -110,7 +131,29 @@ func (r *Recipe) Apply(flat []float64) ([]float64, error) {
 // capacity suffices and allocated otherwise, so hot loops (worker pools,
 // temporal streams) permute without a fresh slice per call. dst must not
 // overlap flat.
+//
+// The permutation runs through the tuned gather kernel (kernel.go):
+// bit-for-bit identical to ApplyToSerial, just faster.
 func (r *Recipe) ApplyTo(dst, flat []float64) ([]float64, error) {
+	if len(flat) != r.n {
+		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(flat), r.n)
+	}
+	out, err := r.sizeDst(dst, flat)
+	if err != nil {
+		return nil, err
+	}
+	if !r.kernelSafe() {
+		return nil, fmt.Errorf("core: recipe permutation has out-of-range entries")
+	}
+	applyGather(out, flat, r.perm)
+	return out, nil
+}
+
+// ApplyToSerial is the straightforward reference gather loop, retained (like
+// BuildRecipeSerial) as the differential oracle for the blocked kernel and
+// as the baseline the CI gate measures the kernel speedup against. Not on
+// the hot path.
+func (r *Recipe) ApplyToSerial(dst, flat []float64) ([]float64, error) {
 	if len(flat) != r.n {
 		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(flat), r.n)
 	}
@@ -131,7 +174,28 @@ func (r *Recipe) Restore(ordered []float64) ([]float64, error) {
 
 // RestoreTo is Restore with a caller-provided destination, with the same
 // reuse contract as ApplyTo. dst must not overlap ordered.
+//
+// The permutation runs through the tuned scatter kernel (kernel.go):
+// bit-for-bit identical to RestoreToSerial, just faster.
 func (r *Recipe) RestoreTo(dst, ordered []float64) ([]float64, error) {
+	if len(ordered) != r.n {
+		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(ordered), r.n)
+	}
+	out, err := r.sizeDst(dst, ordered)
+	if err != nil {
+		return nil, err
+	}
+	if !r.kernelSafe() {
+		return nil, fmt.Errorf("core: recipe permutation has out-of-range entries")
+	}
+	restoreScatter(out, ordered, r.perm)
+	return out, nil
+}
+
+// RestoreToSerial is the straightforward reference scatter loop — the
+// differential oracle and speedup baseline for the blocked kernel, mirroring
+// ApplyToSerial.
+func (r *Recipe) RestoreToSerial(dst, ordered []float64) ([]float64, error) {
 	if len(ordered) != r.n {
 		return nil, fmt.Errorf("core: stream has %d values, recipe expects %d", len(ordered), r.n)
 	}
@@ -143,6 +207,26 @@ func (r *Recipe) RestoreTo(dst, ordered []float64) ([]float64, error) {
 		out[s] = ordered[t]
 	}
 	return out, nil
+}
+
+// kernelSafe reports whether the tuned kernels may elide the random-side
+// bounds check for this recipe: every perm entry must lie in [0, n). The
+// scan runs once per recipe (it is O(n), far cheaper than one permutation
+// pass with checks) and the result is cached; builders always produce
+// in-range permutations, so a false result indicates a corrupted recipe and
+// turns every ApplyTo/RestoreTo into an error instead of an out-of-bounds
+// access.
+func (r *Recipe) kernelSafe() bool {
+	r.verifyOnce.Do(func() {
+		n := int32(r.n)
+		for _, s := range r.perm {
+			if s < 0 || s >= n {
+				return
+			}
+		}
+		r.unsafeOK = true
+	})
+	return r.unsafeOK
 }
 
 // sizeDst resizes dst to the recipe length, allocating only when the

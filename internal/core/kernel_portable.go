@@ -1,0 +1,20 @@
+//go:build zmesh_portable
+
+package core
+
+// Portable kernel selection: with -tags zmesh_portable the tuned-but-safe
+// blocked kernels stand in for the unsafe ones. Everything else — the
+// per-recipe range validation, the serial fallback, the differential tests —
+// is identical, so the tag only trades the last increment of speed for a
+// build with no unsafe imports on the hot path.
+
+// kernelUnsafe reports which kernel flavor this binary runs.
+const kernelUnsafe = false
+
+func applyGather(dst, src []float64, perm []int32) {
+	applyGatherBlocked(dst, src, perm)
+}
+
+func restoreScatter(dst, src []float64, perm []int32) {
+	restoreScatterBlocked(dst, src, perm)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package report
+
+const raceEnabled = false

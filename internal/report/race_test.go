@@ -1,0 +1,7 @@
+//go:build race
+
+package report
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, whose instrumentation distorts kernel timings beyond use.
+const raceEnabled = true

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	zmesh "repro"
+	"repro/internal/compress"
+	"repro/internal/wire"
+)
+
+// stubCodec is a zero-allocation stand-in codec for the steady-state
+// allocation pins: Compress and Decompress return cached slices, so every
+// allocation the pins observe belongs to the server pipeline itself, not to
+// a real codec's internals. Registered as "test-stub"; the protocol-facing
+// codec loops (TestGoldenWire, TestClientServerRoundTrip) skip "test-"
+// names.
+type stubCodec struct {
+	payload []byte
+	values  []float64
+}
+
+func (c *stubCodec) Name() string { return "test-stub" }
+func (c *stubCodec) Compress(data []float64, dims []int, bound compress.Bound) ([]byte, error) {
+	return c.payload, nil
+}
+func (c *stubCodec) Decompress(buf []byte) ([]float64, error) { return c.values, nil }
+
+var theStub = &stubCodec{payload: []byte("stub-payload")}
+
+func init() {
+	compress.Register("test-stub", func() compress.Compressor { return theStub })
+}
+
+// TestServerStreamAllocs pins the steady-state allocation count of the
+// pooled request cores. The budget is 8 allocations per request; with the
+// stub codec the compress path costs only the container envelope and the
+// artifact struct, and the decompress path only the envelope parse — the
+// permutation, decode, and scratch stages all reuse pooled buffers.
+func TestServerStreamAllocs(t *testing.T) {
+	m, f := testMesh(t)
+	values := zmesh.FieldValues(f)
+	theStub.values = make([]float64, len(values))
+	copy(theStub.values, values)
+
+	opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "test-stub"}
+	enc, err := zmesh.NewEncoder(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := wire.AppendFloats(nil, values)
+	bound := testBound()
+	sc := new(requestScratch)
+	nCells := m.NumBlocks() * m.CellsPerBlock()
+
+	// Warm the scratch, and keep one artifact for the decompress pin.
+	artifact, err := compressStream(enc, "dens", nCells, body, bound, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 8
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := compressStream(enc, "dens", nCells, body, bound, sc); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > budget {
+		t.Fatalf("steady-state compress allocates %v per request, budget %d", allocs, budget)
+	}
+
+	dec := zmesh.NewDecoder(m)
+	sc.artifact = zmesh.Compressed{Layout: opt.Layout, Curve: opt.Curve, Payload: artifact.Payload}
+	if _, err := dec.DecompressValuesScratch(&sc.artifact, &sc.zs); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := dec.DecompressValuesScratch(&sc.artifact, &sc.zs); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > budget {
+		t.Fatalf("steady-state decompress allocates %v per request, budget %d", allocs, budget)
+	}
+}
+
+// TestCompressStreamMisaligned pins the fallback path: a misaligned body
+// must decode through the copying path and produce the same artifact.
+func TestCompressStreamMisaligned(t *testing.T) {
+	m, f := testMesh(t)
+	values := zmesh.FieldValues(f)
+	enc, err := zmesh.NewEncoder(m, zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCells := m.NumBlocks() * m.CellsPerBlock()
+	bound := testBound()
+	aligned := wire.AppendFloats(nil, values)
+
+	// Rebuild the body at every offset of an oversized buffer; exactly one
+	// offset (whichever is 8-aligned) takes the view path, the rest copy.
+	backing := make([]byte, len(aligned)+8)
+	for off := 0; off < 8; off++ {
+		body := backing[off : off+len(aligned)]
+		copy(body, aligned)
+		c, err := compressStream(enc, "dens", nCells, body, bound, new(requestScratch))
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		want, err := enc.CompressValues("dens", values, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%x", c.Payload) != fmt.Sprintf("%x", want.Payload) {
+			t.Fatalf("offset %d: payload diverges from aligned compression", off)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestMaxBodyBytes413 pins the request-size cap: an over-limit body must
+// yield 413 with the standard JSON error shape — both when the client
+// declares Content-Length (rejected before the body is read or any decode
+// buffer is sized) and when it streams chunked (stopped by the
+// MaxBytesReader at the cap). A 400 here would mislead clients into
+// retrying the same oversized request.
+func TestMaxBodyBytes413(t *testing.T) {
+	m, _ := testMesh(t)
+	structure := m.Structure()
+	limit := int64(len(structure) + 512)
+	s := New(Config{MaxBodyBytes: limit})
+	post(t, s.Handler(), wire.PathMeshes, structure, http.StatusCreated)
+	id := MeshID(structure)
+
+	oversized := make([]byte, limit+8)
+	paths := map[string]string{
+		"compress":   wire.CompressPath(id) + "?bound=abs:1e-3",
+		"decompress": wire.DecompressPath(id),
+		"register":   wire.PathMeshes,
+	}
+	for name, path := range paths {
+		t.Run(name+"/content-length", func(t *testing.T) {
+			// bytes.Reader bodies carry Content-Length, so the pre-read check fires.
+			rec := post(t, s.Handler(), path, oversized, http.StatusRequestEntityTooLarge)
+			assertJSONError(t, rec)
+		})
+		t.Run(name+"/chunked", func(t *testing.T) {
+			// A bare io.Reader leaves ContentLength unset; the cap must still
+			// hold via the MaxBytesReader installed around the body.
+			req := httptest.NewRequest(http.MethodPost, path, io.MultiReader(bytes.NewReader(oversized)))
+			req.Header.Set("Content-Type", wire.ContentTypeBinary)
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("chunked oversize body: status %d (body %q), want 413", rec.Code, rec.Body.String())
+			}
+			assertJSONError(t, rec)
+		})
+	}
+
+	// An in-limit request on the same server still succeeds: the cap must
+	// not leak into the accept path.
+	rec := post(t, s.Handler(), wire.PathMeshes, structure, http.StatusOK)
+	_ = rec
+}
+
+func assertJSONError(t *testing.T, rec *httptest.ResponseRecorder) {
+	t.Helper()
+	var er wire.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Fatalf("error body %q is not a JSON ErrorResponse", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != wire.ContentTypeJSON {
+		t.Fatalf("error Content-Type = %q, want %q", ct, wire.ContentTypeJSON)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	zmesh "repro"
@@ -213,13 +214,16 @@ func notFound(format string, args ...any) error {
 }
 
 func statusFor(err error) int {
-	var he *httpError
-	if errors.As(err, &he) {
-		return he.status
-	}
+	// MaxBytesError resolves first: handlers wrap body-read failures in
+	// badRequest, and the over-limit case must surface as 413, not the
+	// wrapper's 400.
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
 		return http.StatusRequestEntityTooLarge
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
 	}
 	return http.StatusInternalServerError
 }
@@ -228,6 +232,62 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", wire.ContentTypeJSON)
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error()})
+}
+
+// requestScratch is the pooled per-request state of the compress/decompress
+// hot paths: the body buffer, the float decode buffer (used only when the
+// body cannot be viewed zero-copy), the pipeline Scratch, and the response
+// artifact shell. Pooling them makes steady-state requests allocate only
+// what the pipeline itself must produce (the wrapped payload); see the
+// AllocsPerRun pins in alloc_test.go and DESIGN.md "Hot path".
+type requestScratch struct {
+	body     []byte
+	values   []float64
+	zs       zmesh.Scratch
+	artifact zmesh.Compressed
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(requestScratch) }}
+
+// maxPooledBody caps the body buffer a scratch may carry back into the pool:
+// one unusually large request must not pin its buffers for the pool's
+// lifetime.
+const maxPooledBody = 64 << 20
+
+func putScratch(sc *requestScratch) {
+	if cap(sc.body) > maxPooledBody {
+		*sc = requestScratch{}
+	}
+	sc.artifact = zmesh.Compressed{}
+	scratchPool.Put(sc)
+}
+
+// readBody reads the whole request body into buf (grown as needed, reused
+// otherwise). A declared Content-Length beyond the server's cap fails
+// before any allocation; bodies without one are still stopped by the
+// MaxBytesReader installed in instrumented(). Either way the limit error
+// unwraps to *http.MaxBytesError, which statusFor maps to 413.
+func (s *Server) readBody(r *http.Request, buf []byte) ([]byte, error) {
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		return buf, &http.MaxBytesError{Limit: s.cfg.MaxBodyBytes}
+	}
+	if n := int(r.ContentLength); n > 0 && cap(buf) < n {
+		buf = make([]byte, 0, n)
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // handleRegister: POST /v1/meshes, body = Mesh.Structure bytes.
@@ -305,29 +365,26 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	if fieldName == "" {
 		fieldName = "field"
 	}
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		return badRequest(fmt.Errorf("reading values: %w", err))
-	}
-	values, err := wire.DecodeFloats(body)
-	if err != nil {
-		return badRequest(err)
-	}
-	f, err := zmesh.FieldFromValues(entry.mesh, fieldName, values)
-	if err != nil {
-		return badRequest(err)
-	}
 	enc, err := s.store.encoder(entry, opt)
 	if err != nil {
 		return err
 	}
-	cs, err := enc.CompressFieldsContext(r.Context(), []*zmesh.Field{f}, bound, 1)
+	sc := scratchPool.Get().(*requestScratch)
+	defer putScratch(sc)
+	sc.body, err = s.readBody(r, sc.body)
 	if err != nil {
-		// Covers client-gone cancellation too: the response is unreachable
-		// then, but the error still counts toward the endpoint metrics.
+		return badRequest(fmt.Errorf("reading values: %w", err))
+	}
+	if err := r.Context().Err(); err != nil {
+		// Client gone: skip the pipeline; the error still counts toward the
+		// endpoint metrics (the response is unreachable either way).
 		return err
 	}
-	c := cs[0]
+	nCells := entry.mesh.NumBlocks() * entry.mesh.CellsPerBlock()
+	c, err := compressStream(enc, fieldName, nCells, sc.body, bound, sc)
+	if err != nil {
+		return err
+	}
 	h := w.Header()
 	h.Set("Content-Type", wire.ContentTypeBinary)
 	h.Set(wire.HeaderField, c.FieldName)
@@ -337,6 +394,32 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	h.Set(wire.HeaderNumValues, strconv.Itoa(c.NumValues))
 	_, err = w.Write(c.Payload)
 	return err
+}
+
+// compressStream is the allocation-audited core of handleCompress: wire
+// body → value stream → artifact, skipping Field materialization entirely.
+// On little-endian builds an aligned body is handed to the pipeline as a
+// zero-copy float view; otherwise the values are decoded into the pooled
+// buffer. Separated from the handler so the AllocsPerRun pins can audit it
+// without the net/http plumbing.
+func compressStream(enc *zmesh.Encoder, fieldName string, nCells int, body []byte, bound zmesh.Bound, sc *requestScratch) (*zmesh.Compressed, error) {
+	values, ok := wire.ViewFloats(body)
+	if !ok {
+		var err error
+		values, err = wire.DecodeFloatsInto(sc.values, body)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		sc.values = values
+	}
+	if len(values) != nCells {
+		return nil, badRequest(fmt.Errorf("stream has %d values, mesh has %d cells", len(values), nCells))
+	}
+	c, err := enc.CompressValuesScratch(fieldName, values, bound, &sc.zs)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // handleDecompress: POST /v1/meshes/{id}/decompress?field=&layout=&curve=,
@@ -356,33 +439,41 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error 
 	if fieldName == "" {
 		fieldName = "field"
 	}
-	payload, err := io.ReadAll(r.Body)
+	sc := scratchPool.Get().(*requestScratch)
+	defer putScratch(sc)
+	sc.body, err = s.readBody(r, sc.body)
 	if err != nil {
 		return badRequest(fmt.Errorf("reading payload: %w", err))
 	}
-	if len(payload) == 0 {
+	if len(sc.body) == 0 {
 		return badRequest(errors.New("empty payload body"))
 	}
-	c := &zmesh.Compressed{
+	if err := r.Context().Err(); err != nil {
+		return err // client gone; keep the cancellation out of 4xx stats
+	}
+	sc.artifact = zmesh.Compressed{
 		FieldName: fieldName,
 		Layout:    opt.Layout,
 		Curve:     opt.Curve,
 		// Codec and NumValues stay zero: the container envelope is
 		// authoritative and the decoder validates against it.
-		Payload: payload,
+		Payload: sc.body,
 	}
-	fs, err := entry.dec.DecompressFieldsContext(r.Context(), []*zmesh.Compressed{c}, 1)
+	values, err := entry.dec.DecompressValuesScratch(&sc.artifact, &sc.zs)
 	if err != nil {
-		if r.Context().Err() != nil {
-			return err // client gone; keep the cancellation out of 4xx stats
-		}
 		return badRequest(err) // corrupt envelope/payload is the client's fault
 	}
-	values := zmesh.FieldValues(fs[0])
 	h := w.Header()
 	h.Set("Content-Type", wire.ContentTypeBinary)
 	h.Set(wire.HeaderField, fieldName)
 	h.Set(wire.HeaderNumValues, strconv.Itoa(len(values)))
-	_, err = w.Write(wire.AppendFloats(make([]byte, 0, 8*len(values)), values))
+	// The response bytes are the values themselves on little-endian builds;
+	// the portable fallback encodes into the (already consumed) body buffer.
+	out, ok := wire.ViewBytes(values)
+	if !ok {
+		sc.body = wire.AppendFloats(sc.body[:0], values)
+		out = sc.body
+	}
+	_, err = w.Write(out)
 	return err
 }

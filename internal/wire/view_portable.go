@@ -1,0 +1,17 @@
+//go:build zmesh_portable || !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package wire
+
+// Portable stand-ins for the zero-copy views (view_unsafe.go): on big-endian
+// targets — or under -tags zmesh_portable — reinterpretation is unavailable,
+// every View call reports !ok, and callers take the explicit little-endian
+// copy loops instead. The wire format is unchanged either way.
+
+// viewSupported reports whether this build reinterprets rather than copies.
+const viewSupported = false
+
+// ViewFloats always reports ok=false on this build; use DecodeFloatsInto.
+func ViewFloats(buf []byte) (vals []float64, ok bool) { return nil, false }
+
+// ViewBytes always reports ok=false on this build; use AppendFloats.
+func ViewBytes(vals []float64) (buf []byte, ok bool) { return nil, false }

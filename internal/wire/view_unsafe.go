@@ -1,0 +1,49 @@
+//go:build !zmesh_portable && (386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package wire
+
+import "unsafe"
+
+// Zero-copy reinterpretation between the float64-LE wire framing and
+// in-memory []float64. Compiled only on little-endian architectures without
+// the zmesh_portable tag, because the reinterpretation is byte-order
+// dependent: on these targets the in-memory representation of a float64 IS
+// the wire representation, so a request body can be handed to the kernels
+// (and a value stream to the response writer) without the per-element
+// copy loops in AppendFloats/DecodeFloats.
+//
+// ViewFloats additionally demands 8-byte pointer alignment. Go's allocator
+// aligns every allocation ≥ 8 bytes, so whole buffers qualify; a body
+// sub-slice at an odd offset does not, and falls back to the copying path.
+// Callers must treat a view as borrowing the underlying buffer: the bytes
+// and the floats alias the same memory.
+
+// viewSupported reports whether this build reinterprets rather than copies.
+const viewSupported = true
+
+// ViewFloats reinterprets a wire-framed byte stream as []float64 without
+// copying. ok is false — and callers must fall back to DecodeFloatsInto —
+// when the length is not a multiple of 8 or the data is not 8-byte aligned.
+func ViewFloats(buf []byte) (vals []float64, ok bool) {
+	if len(buf)%8 != 0 {
+		return nil, false
+	}
+	if len(buf) == 0 {
+		return []float64{}, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(buf))
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(p), len(buf)/8), true
+}
+
+// ViewBytes reinterprets a []float64 as its wire framing without copying.
+// ok is always true on this build for non-nil input ([]float64 data is
+// naturally 8-byte aligned); the portable build always returns false.
+func ViewBytes(vals []float64) (buf []byte, ok bool) {
+	if len(vals) == 0 {
+		return []byte{}, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vals))), len(vals)*8), true
+}

@@ -117,8 +117,13 @@ func ParseBound(s string) (compress.Bound, error) {
 }
 
 // AppendFloats appends vals to dst in the wire framing: little-endian IEEE
-// 754 float64, no header — the stream length is the byte length / 8.
+// 754 float64, no header — the stream length is the byte length / 8. On
+// little-endian builds the append is a single bulk copy via ViewBytes;
+// otherwise it falls back to the per-element encoder.
 func AppendFloats(dst []byte, vals []float64) []byte {
+	if b, ok := ViewBytes(vals); ok {
+		return append(dst, b...)
+	}
 	for _, v := range vals {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
@@ -128,12 +133,29 @@ func AppendFloats(dst []byte, vals []float64) []byte {
 // DecodeFloats decodes a float64-LE stream. The byte length must be a
 // multiple of 8.
 func DecodeFloats(buf []byte) ([]float64, error) {
+	return DecodeFloatsInto(nil, buf)
+}
+
+// DecodeFloatsInto is DecodeFloats with a caller-provided destination,
+// reused when its capacity suffices — the hot-path variant for pooled
+// request scratch. Validation runs before any allocation, so a ragged
+// stream costs nothing. The result never aliases buf.
+func DecodeFloatsInto(dst []float64, buf []byte) ([]float64, error) {
 	if len(buf)%8 != 0 {
 		return nil, fmt.Errorf("wire: value stream is %d bytes, not a multiple of 8", len(buf))
 	}
-	out := make([]float64, len(buf)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	n := len(buf) / 8
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
 	}
-	return out, nil
+	if src, ok := ViewFloats(buf); ok {
+		copy(dst, src)
+		return dst, nil
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return dst, nil
 }

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// refAppend is the reference per-element encoder, kept independent of the
+// zero-copy fast paths so the tests pin the wire format itself.
+func refAppend(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func framingVals() []float64 {
+	return []float64{
+		0, math.Copysign(0, -1), 1.5, -2.75e-300,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Float64frombits(0x7ff8_dead_beef_0001), // NaN with payload
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+	}
+}
+
+func equalFloatBits(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: value %d = %x, want %x", what, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestFloatFramingRoundTrip pins AppendFloats byte-for-byte against the
+// reference encoder and DecodeFloats bit-for-bit against the input,
+// including NaN payloads and signed zero — the framing must be transparent
+// whether or not the zero-copy views are active.
+func TestFloatFramingRoundTrip(t *testing.T) {
+	vals := framingVals()
+	buf := AppendFloats(nil, vals)
+	if want := refAppend(nil, vals); !bytes.Equal(buf, want) {
+		t.Fatalf("AppendFloats bytes diverge from reference encoding\n got %x\nwant %x", buf, want)
+	}
+	back, err := DecodeFloats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalFloatBits(t, "DecodeFloats(AppendFloats(vals))", back, vals)
+
+	if got := AppendFloats(nil, nil); len(got) != 0 {
+		t.Fatalf("AppendFloats(nil, nil) = %d bytes, want 0", len(got))
+	}
+	empty, err := DecodeFloats(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("DecodeFloats(nil) = %v, %v; want empty, nil", empty, err)
+	}
+}
+
+// TestDecodeFloatsRagged pins the validation contract: a stream whose length
+// is not a multiple of 8 must fail before any allocation or partial decode.
+func TestDecodeFloatsRagged(t *testing.T) {
+	for _, n := range []int{1, 7, 9, 15} {
+		if _, err := DecodeFloats(make([]byte, n)); err == nil {
+			t.Fatalf("DecodeFloats accepted a %d-byte stream", n)
+		}
+		if out, err := DecodeFloatsInto(make([]float64, 4), make([]byte, n)); err == nil || out != nil {
+			t.Fatalf("DecodeFloatsInto accepted a %d-byte stream (out=%v)", n, out)
+		}
+	}
+}
+
+// TestDecodeFloatsIntoReuse pins the scratch-reuse contract: a destination
+// with sufficient capacity is resliced in place, and the decoded values
+// never alias the input bytes.
+func TestDecodeFloatsIntoReuse(t *testing.T) {
+	vals := framingVals()
+	buf := refAppend(nil, vals)
+	dst := make([]float64, 1, len(vals)+3)
+	out, err := DecodeFloatsInto(dst, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("DecodeFloatsInto did not reuse the provided destination")
+	}
+	equalFloatBits(t, "DecodeFloatsInto", out, vals)
+
+	// Clobber the input; the decoded slice must be an independent copy.
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	equalFloatBits(t, "DecodeFloatsInto after clobbering input", out, vals)
+
+	// Insufficient capacity allocates rather than writing out of range.
+	small := make([]float64, 0, 2)
+	out2, err := DecodeFloatsInto(small, refAppend(nil, vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalFloatBits(t, "DecodeFloatsInto with short dst", out2, vals)
+}
+
+// TestViewFloats exercises the zero-copy read view: when a view is granted
+// it must agree bit-for-bit with the copying decoder and alias the buffer;
+// misaligned or ragged input must always be refused.
+func TestViewFloats(t *testing.T) {
+	vals := framingVals()
+	raw := refAppend(nil, vals)
+	if view, ok := ViewFloats(raw); ok {
+		if !viewSupported {
+			t.Fatal("portable build granted a float view")
+		}
+		equalFloatBits(t, "ViewFloats", view, vals)
+		// The view aliases the bytes: flip one sign bit through the buffer.
+		raw[7] ^= 0x80
+		if math.Signbit(view[0]) == math.Signbit(vals[0]) {
+			t.Fatal("ViewFloats result does not alias the input buffer")
+		}
+	} else if viewSupported {
+		t.Fatal("aligned whole-allocation buffer was refused a view")
+	}
+
+	if _, ok := ViewFloats(make([]byte, 12)); ok {
+		t.Fatal("ViewFloats accepted a ragged stream")
+	}
+	// Alignment: a byte buffer's base address is not guaranteed 8-aligned, so
+	// sweep all eight sub-slice offsets — exactly one of them is 8-aligned.
+	// A supported build must grant exactly that one and refuse the rest
+	// (decoding correctly where granted); the portable build grants none.
+	sweep := refAppend(refAppend(nil, vals), vals)[:8*len(vals)+8]
+	granted := 0
+	for off := 0; off < 8; off++ {
+		sub := sweep[off : off+8*len(vals)]
+		view, ok := ViewFloats(sub)
+		if !ok {
+			continue
+		}
+		granted++
+		if off%8 != 0 { // only informative when the base happens aligned
+			want, err := DecodeFloats(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalFloatBits(t, "ViewFloats at odd offset", view, want)
+		} else {
+			equalFloatBits(t, "ViewFloats at offset 0", view, vals)
+		}
+	}
+	if viewSupported && granted != 1 {
+		t.Fatalf("ViewFloats granted %d of 8 sub-slice offsets, want exactly 1", granted)
+	}
+	if !viewSupported && granted != 0 {
+		t.Fatalf("portable ViewFloats granted %d views, want 0", granted)
+	}
+	if view, ok := ViewFloats(nil); ok && len(view) != 0 {
+		t.Fatal("ViewFloats(nil) returned a non-empty view")
+	}
+}
+
+// TestViewBytes exercises the zero-copy write view: granted views must equal
+// the reference encoding and alias the values.
+func TestViewBytes(t *testing.T) {
+	vals := framingVals()
+	if view, ok := ViewBytes(vals); ok {
+		if !viewSupported {
+			t.Fatal("portable build granted a byte view")
+		}
+		if want := refAppend(nil, vals); !bytes.Equal(view, want) {
+			t.Fatalf("ViewBytes diverges from reference encoding\n got %x\nwant %x", view, want)
+		}
+		vals[2] = 99.5
+		if !bytes.Equal(view[16:24], refAppend(nil, []float64{99.5})) {
+			t.Fatal("ViewBytes result does not alias the values")
+		}
+	} else if viewSupported {
+		t.Fatal("ViewBytes refused a non-empty slice on a supported build")
+	}
+}

@@ -1,0 +1,112 @@
+package zmesh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestCompressValuesMatchesField pins the value-stream API against the Field
+// API: compressing the FieldValues serialization must produce a byte-identical
+// artifact, and DecompressValues must reproduce DecompressField's stream
+// bit-for-bit. This is the contract the zmeshd server relies on to skip Field
+// materialization without changing the wire format.
+func TestCompressValuesMatchesField(t *testing.T) {
+	ck := checkpoint(t)
+	dens, _ := ck.Field("dens")
+	bound := RelBound(1e-4)
+	for _, codec := range []string{"sz", "zfp"} {
+		enc, err := NewEncoder(ck.Mesh, Options{Layout: LayoutZMesh, Curve: "hilbert", Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaField, err := enc.CompressField(dens, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaValues, err := enc.CompressValues("dens", FieldValues(dens), bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaField.Payload, viaValues.Payload) {
+			t.Fatalf("%s: CompressValues payload diverges from CompressField (%d vs %d bytes)",
+				codec, len(viaValues.Payload), len(viaField.Payload))
+		}
+		if viaField.FieldName != viaValues.FieldName || viaField.Layout != viaValues.Layout ||
+			viaField.Curve != viaValues.Curve || viaField.Codec != viaValues.Codec ||
+			viaField.NumValues != viaValues.NumValues {
+			t.Fatalf("%s: artifact metadata diverges: %+v vs %+v", codec, viaField, viaValues)
+		}
+
+		dec := NewDecoder(ck.Mesh)
+		field, err := dec.DecompressField(viaField)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := dec.DecompressValues(viaValues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := FieldValues(field)
+		if len(vals) != len(want) {
+			t.Fatalf("%s: DecompressValues returned %d values, want %d", codec, len(vals), len(want))
+		}
+		for i := range vals {
+			if math.Float64bits(vals[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: value %d = %x, DecompressField has %x",
+					codec, i, math.Float64bits(vals[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestValuesScratchReuse pins the Scratch contract: repeated calls through
+// one Scratch reuse its buffers and stay correct.
+func TestValuesScratchReuse(t *testing.T) {
+	ck := checkpoint(t)
+	dens, _ := ck.Field("dens")
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(ck.Mesh)
+	values := FieldValues(dens)
+	var scratch Scratch
+	var firstPayload []byte
+	for i := 0; i < 3; i++ {
+		c, err := enc.CompressValuesScratch("dens", values, RelBound(1e-4), &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstPayload = c.Payload
+		} else if !bytes.Equal(c.Payload, firstPayload) {
+			t.Fatalf("call %d produced a different payload with reused scratch", i)
+		}
+		back, err := dec.DecompressValuesScratch(c, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range back {
+			if math.IsNaN(back[j]) {
+				t.Fatalf("call %d: NaN at %d", i, j)
+			}
+		}
+		if len(back) != len(values) {
+			t.Fatalf("call %d: %d values back, want %d", i, len(back), len(values))
+		}
+	}
+}
+
+// TestCompressValuesWrongLength pins the validation error for a stream that
+// does not match the mesh cell count.
+func TestCompressValuesWrongLength(t *testing.T) {
+	ck := checkpoint(t)
+	enc, err := NewEncoder(ck.Mesh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.CompressValues("dens", make([]float64, 7), AbsBound(1e-3)); err == nil {
+		t.Fatal("CompressValues accepted a wrong-length stream")
+	}
+}

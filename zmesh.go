@@ -321,6 +321,16 @@ type encodeScratch struct {
 	ordered []float64
 }
 
+// Scratch carries the reusable stream buffers of the value-stream hot paths
+// (CompressValuesScratch, DecompressValuesScratch). The zero value is ready
+// to use; the buffers grow on demand and are reused by subsequent calls, so
+// a pooled Scratch makes steady-state calls allocation-free on the
+// permutation stages. A Scratch must not be used concurrently.
+type Scratch struct {
+	ordered []float64
+	flat    []float64
+}
+
 // compressWith is CompressField with an explicit codec instance.
 func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound) (*Compressed, error) {
 	return e.compressInto(codec, f, bound, &encodeScratch{})
@@ -350,6 +360,15 @@ func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound,
 		s.reorder.Since(t0)
 		t0 = time.Now()
 	}
+	return e.encodeOrdered(codec, f.Name, ordered, bound, t0)
+}
+
+// encodeOrdered runs the codec and container stages over an already
+// reordered stream — the shared tail of compressInto and
+// CompressValuesScratch. t0 is the reorder-stage end time (unused without
+// telemetry).
+func (e *Encoder) encodeOrdered(codec compress.Compressor, name string, ordered []float64, bound Bound, t0 time.Time) (*Compressed, error) {
+	s := e.stats
 	payload, err := codec.Compress(ordered, []int{len(ordered)}, bound)
 	if err != nil {
 		s.fail()
@@ -362,7 +381,7 @@ func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound,
 	wrapped, err := container.Wrap(e.opt.Codec, len(ordered), payload)
 	if err != nil {
 		s.fail()
-		return nil, fmt.Errorf("zmesh: field %q: %w", f.Name, err)
+		return nil, fmt.Errorf("zmesh: field %q: %w", name, err)
 	}
 	if s != nil {
 		s.wrap.Since(t0)
@@ -372,13 +391,42 @@ func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound,
 		s.ratio.ObserveMilli(compress.Ratio(len(ordered), wrapped))
 	}
 	return &Compressed{
-		FieldName: f.Name,
+		FieldName: name,
 		Layout:    e.opt.Layout,
 		Curve:     e.opt.Curve,
 		Codec:     e.opt.Codec,
 		NumValues: len(ordered),
 		Payload:   wrapped,
 	}, nil
+}
+
+// CompressValues compresses a level-order value stream directly, without
+// materializing a Field — the wire-facing sibling of CompressField for
+// callers (like the zmeshd service) that already hold the FieldValues
+// serialization. values must carry exactly one value per mesh cell in level
+// order; name tags the artifact. The artifact is byte-identical to
+// CompressField of the equivalent field.
+func (e *Encoder) CompressValues(name string, values []float64, bound Bound) (*Compressed, error) {
+	return e.CompressValuesScratch(name, values, bound, &Scratch{})
+}
+
+// CompressValuesScratch is CompressValues with caller-owned scratch: the
+// reorder buffer is reused across calls, so pooled callers allocate nothing
+// on the permutation stage.
+func (e *Encoder) CompressValuesScratch(name string, values []float64, bound Bound, scratch *Scratch) (*Compressed, error) {
+	s := e.stats
+	t0 := stageStart(s != nil)
+	ordered, err := e.recipe.ApplyTo(scratch.ordered, values)
+	if err != nil {
+		s.fail()
+		return nil, fmt.Errorf("zmesh: field %q: %w", name, err)
+	}
+	scratch.ordered = ordered
+	if s != nil {
+		s.reorder.Since(t0)
+		t0 = time.Now()
+	}
+	return e.encodeOrdered(e.codec, name, ordered, bound, t0)
 }
 
 // Decoder decompresses fields back onto a mesh topology. It can be built
@@ -481,18 +529,20 @@ func (d *Decoder) DecompressField(c *Compressed) (*Field, error) {
 	return f, err
 }
 
-// decompressInto is DecompressField with a caller-owned scratch buffer for
-// the restored level-order stream; it returns the (possibly grown) buffer
-// for reuse. The returned field owns its data — the scratch may be reused
-// immediately.
-func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []float64, error) {
+// restoreStream is the shared front half of the decompression paths:
+// envelope verification, codec dispatch, and the layout restore into
+// flatBuf (reused when capacity suffices). It returns the level-order
+// stream, the decoded value count, and the restore-stage start time; the
+// caller records the restore timer and success counters once its own tail
+// stages finish.
+func (d *Decoder) restoreStream(c *Compressed, flatBuf []float64) (flat []float64, nOrdered int, t0 time.Time, err error) {
 	s := d.stats
 	recipe, err := d.recipeFor(c.Layout, c.Curve)
 	if err != nil {
 		s.fail()
-		return nil, flatBuf, err
+		return nil, 0, t0, err
 	}
-	t0 := stageStart(s != nil)
+	t0 = stageStart(s != nil)
 	var envStats *containerStats
 	if s != nil {
 		envStats = &s.envelope
@@ -500,12 +550,12 @@ func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []fl
 	codecName, payload, err := unwrapPayload(c, envStats)
 	if err != nil {
 		s.fail()
-		return nil, flatBuf, err
+		return nil, 0, t0, err
 	}
 	codec, err := compress.Get(codecName)
 	if err != nil {
 		s.fail()
-		return nil, flatBuf, err
+		return nil, 0, t0, err
 	}
 	if s != nil {
 		s.unwrap.Since(t0)
@@ -514,7 +564,7 @@ func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []fl
 	ordered, err := codec.Decompress(payload)
 	if err != nil {
 		s.fail()
-		return nil, flatBuf, err
+		return nil, 0, t0, err
 	}
 	if s != nil {
 		s.codecTimer(codecName).Since(t0)
@@ -522,12 +572,59 @@ func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []fl
 	}
 	if c.NumValues != 0 && len(ordered) != c.NumValues {
 		s.fail()
-		return nil, flatBuf, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
+		return nil, 0, t0, fmt.Errorf("zmesh: field %q: payload decoded to %d values, expected %d",
 			c.FieldName, len(ordered), c.NumValues)
 	}
-	flat, err := recipe.RestoreTo(flatBuf, ordered)
+	flat, err = recipe.RestoreTo(flatBuf, ordered)
 	if err != nil {
 		s.fail()
+		return nil, 0, t0, err
+	}
+	return flat, len(ordered), t0, nil
+}
+
+// noteDecode records the success telemetry shared by the decompression
+// paths; t0 is the restore-stage start time from restoreStream.
+func (d *Decoder) noteDecode(c *Compressed, nOrdered int, t0 time.Time) {
+	s := d.stats
+	if s == nil {
+		return
+	}
+	s.restore.Since(t0)
+	s.fields.Inc()
+	s.bytesComp.Add(int64(len(c.Payload)))
+	s.bytesRaw.Add(int64(nOrdered * 8))
+	s.ratio.ObserveMilli(compress.Ratio(nOrdered, c.Payload))
+}
+
+// DecompressValues reverses CompressValues: it returns the reconstructed
+// level-order value stream without materializing a Field — the wire-facing
+// sibling of DecompressField. The envelope is verified the same way.
+func (d *Decoder) DecompressValues(c *Compressed) ([]float64, error) {
+	return d.DecompressValuesScratch(c, &Scratch{})
+}
+
+// DecompressValuesScratch is DecompressValues with caller-owned scratch.
+// The returned slice aliases scratch's restore buffer: the caller must be
+// done with it before the Scratch is reused or returned to a pool.
+func (d *Decoder) DecompressValuesScratch(c *Compressed, scratch *Scratch) ([]float64, error) {
+	flat, nOrdered, t0, err := d.restoreStream(c, scratch.flat)
+	if err != nil {
+		return nil, err
+	}
+	scratch.flat = flat
+	d.noteDecode(c, nOrdered, t0)
+	return flat, nil
+}
+
+// decompressInto is DecompressField with a caller-owned scratch buffer for
+// the restored level-order stream; it returns the (possibly grown) buffer
+// for reuse. The returned field owns its data — the scratch may be reused
+// immediately.
+func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []float64, error) {
+	s := d.stats
+	flat, nOrdered, t0, err := d.restoreStream(c, flatBuf)
+	if err != nil {
 		return nil, flatBuf, err
 	}
 	levels, err := amr.SplitLevels(d.mesh, flat)
@@ -540,13 +637,7 @@ func (d *Decoder) decompressInto(c *Compressed, flatBuf []float64) (*Field, []fl
 		s.fail()
 		return f, flat, err
 	}
-	if s != nil {
-		s.restore.Since(t0)
-		s.fields.Inc()
-		s.bytesComp.Add(int64(len(c.Payload)))
-		s.bytesRaw.Add(int64(len(ordered) * 8))
-		s.ratio.ObserveMilli(compress.Ratio(len(ordered), c.Payload))
-	}
+	d.noteDecode(c, nOrdered, t0)
 	return f, flat, nil
 }
 
