@@ -40,6 +40,7 @@ type Client struct {
 	maxRetries  int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
+	chunkBytes  int
 
 	// jitterState drives the backoff jitter: a splitmix64 sequence advanced
 	// with a single atomic add, so concurrent retry loops never contend on a
@@ -65,6 +66,12 @@ func WithBackoff(base, max time.Duration) Option {
 	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
 }
 
+// WithChunkBytes sets the frame size the streaming methods cut chunked
+// request bodies into (default wire.DefaultChunkBytes, capped at
+// wire.MaxChunkPayload). Smaller chunks lower peak memory on both ends at
+// the cost of per-frame overhead.
+func WithChunkBytes(n int) Option { return func(c *Client) { c.chunkBytes = n } }
+
 // New creates a client for a zmeshd base URL like "http://host:8080".
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
@@ -73,6 +80,7 @@ func New(baseURL string, opts ...Option) *Client {
 		maxRetries:  6,
 		baseBackoff: 50 * time.Millisecond,
 		maxBackoff:  2 * time.Second,
+		chunkBytes:  wire.DefaultChunkBytes,
 	}
 	c.jitterState.Store(uint64(time.Now().UnixNano()))
 	for _, o := range opts {
@@ -261,6 +269,13 @@ func (c *Client) Compress(ctx context.Context, meshID, fieldName string, values 
 	if err != nil {
 		return nil, err
 	}
+	return artifactFromHeaders(hdr, payload)
+}
+
+// artifactFromHeaders reconstructs a zmesh.Compressed from the X-Zmesh-*
+// metadata headers of a compress response plus its payload bytes — shared
+// by the buffered and streaming compress paths.
+func artifactFromHeaders(hdr http.Header, payload []byte) (*zmesh.Compressed, error) {
 	numValues, err := strconv.Atoi(hdr.Get(wire.HeaderNumValues))
 	if err != nil {
 		return nil, fmt.Errorf("client: bad %s header: %w", wire.HeaderNumValues, err)

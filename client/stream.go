@@ -1,0 +1,381 @@
+// Streaming and batch transport: the client side of zmeshd's chunked wire
+// mode (wire/chunk.go) and checkpoint endpoint (wire/batch.go).
+//
+// CompressStream reads a field's float64-LE values from an io.Reader and
+// frames them over the wire without ever holding the whole stream, so a
+// multi-GB field flows through bounded client memory. Because the source
+// is a stream, a failed attempt can only be retried while nothing has been
+// consumed from it yet — once the first byte is committed to an attempt,
+// failures surface to the caller instead of silently re-reading a source
+// that cannot be rewound. DecompressStream and CompressCheckpoint send
+// from buffers, so they keep the full retry/backoff machinery until the
+// first response byte has been handed to the caller.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/wire"
+)
+
+// BatchField is one field of a checkpoint batch request: a name plus its
+// level-order value stream.
+type BatchField struct {
+	Name   string
+	Values []float64
+}
+
+// statusError drains and closes a non-2xx response into a StatusError.
+func statusError(resp *http.Response) *StatusError {
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	msg := strings.TrimSpace(string(body))
+	var je wire.ErrorResponse
+	if json.Unmarshal(body, &je) == nil && je.Error != "" {
+		msg = je.Error
+	}
+	return &StatusError{Code: resp.StatusCode, Msg: msg}
+}
+
+// compressQuery renders the shared compress-side query string.
+func compressQuery(fieldName string, opt zmesh.Options, bound zmesh.Bound) string {
+	return url.Values{
+		wire.ParamField:  {fieldName},
+		wire.ParamLayout: {opt.Layout.String()},
+		wire.ParamCurve:  {opt.Curve},
+		wire.ParamCodec:  {opt.Codec},
+		wire.ParamBound:  {wire.FormatBound(bound)},
+	}.Encode()
+}
+
+// countingReader tracks how many bytes have been consumed from the
+// underlying stream — the retry-safety sentinel of CompressStream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// CompressStream compresses one field whose float64-LE level-order values
+// are read from values — the streaming sibling of Compress for fields too
+// large to buffer. The request body is cut into chunked frames of the
+// client's configured chunk size (WithChunkBytes); the response payload is
+// reassembled from the server's chunked frames. Attempts are retried with
+// the usual backoff only while zero bytes have been consumed from values;
+// after that the stream cannot be replayed and the first failure is final.
+func (c *Client) CompressStream(ctx context.Context, meshID, fieldName string, values io.Reader, opt zmesh.Options, bound zmesh.Bound) (*zmesh.Compressed, error) {
+	opt = withDefaults(opt)
+	reqURL := c.base + wire.CompressStreamPath(meshID) + "?" + compressQuery(fieldName, opt, bound)
+	src := &countingReader{r: values}
+	chunk := make([]byte, c.chunkSize())
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, pumpErr, err := c.startChunkedRequest(ctx, reqURL, src, chunk)
+		var retryAfter string
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			if perr := <-pumpErr; perr != nil && !errors.Is(perr, io.ErrClosedPipe) {
+				// The transport error was caused by the source itself; the
+				// caller needs that, not the wrapped pipe error.
+				return nil, fmt.Errorf("client: reading value stream: %w", perr)
+			}
+		case resp.StatusCode/100 == 2:
+			payload, rerr := readChunkedAll(resp.Body)
+			hdr := resp.Header
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("client: reading chunked response: %w", rerr)
+			}
+			return artifactFromHeaders(hdr, payload)
+		default:
+			retryAfter = resp.Header.Get("Retry-After")
+			se := statusError(resp)
+			lastErr = se
+			if !retryable(se.Code) {
+				return nil, se
+			}
+		}
+		if src.n > 0 {
+			return nil, fmt.Errorf("client: stream failed after %d bytes were consumed (cannot replay an io.Reader): %w", src.n, lastErr)
+		}
+		if attempt >= c.maxRetries {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, attempt+1, retryAfter); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// startChunkedRequest issues one POST whose body is the chunked framing of
+// src, pumped through a pipe so the request streams instead of buffering.
+// The returned channel yields the pump goroutine's error once the request
+// has fully completed (the transport always closes the request body, which
+// unblocks the pump).
+func (c *Client) startChunkedRequest(ctx context.Context, reqURL string, src io.Reader, chunk []byte) (*http.Response, <-chan error, error) {
+	pr, pw := io.Pipe()
+	pumpErr := make(chan error, 1)
+	go func() {
+		cw := wire.NewChunkWriter(pw)
+		var perr error
+		for {
+			n, rerr := src.Read(chunk)
+			if n > 0 {
+				if werr := cw.WriteChunk(chunk[:n]); werr != nil {
+					perr = werr
+					break
+				}
+			}
+			if rerr == io.EOF {
+				perr = cw.Close()
+				break
+			}
+			if rerr != nil {
+				perr = rerr
+				break
+			}
+		}
+		pw.CloseWithError(perr) // nil closes cleanly (EOF to the transport)
+		pumpErr <- perr
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, reqURL, pr)
+	if err != nil {
+		pr.CloseWithError(err)
+		return nil, pumpErr, err
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeChunked)
+	resp, err := c.hc.Do(req)
+	return resp, pumpErr, err
+}
+
+// readChunkedAll reassembles a whole chunked stream into one buffer.
+func readChunkedAll(r io.Reader) ([]byte, error) {
+	cr := wire.NewChunkReader(r)
+	var out, buf []byte
+	for {
+		p, err := cr.Next(buf)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+		buf = p
+	}
+}
+
+// sleep waits out one backoff delay (see backoffDelay), bounded by ctx.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string) error {
+	t := time.NewTimer(c.backoffDelay(attempt, retryAfter))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) chunkSize() int {
+	n := c.chunkBytes
+	if n <= 0 {
+		n = wire.DefaultChunkBytes
+	}
+	if n > wire.MaxChunkPayload {
+		n = wire.MaxChunkPayload
+	}
+	return n
+}
+
+// DecompressStream decompresses an artifact server-side and streams the
+// reconstructed float64-LE values into w, returning the number of values
+// written. The request is replayed from the artifact buffer on 429/5xx
+// with the usual backoff; once the first response byte has been written to
+// w, a mid-stream failure is final (w cannot be rewound). A truncated
+// response (missing terminator frame) is detected by the chunk framing and
+// surfaces as an error rather than silently short data.
+func (c *Client) DecompressStream(ctx context.Context, meshID string, comp *zmesh.Compressed, w io.Writer) (int, error) {
+	q := url.Values{
+		wire.ParamField:  {comp.FieldName},
+		wire.ParamLayout: {comp.Layout.String()},
+		wire.ParamCurve:  {comp.Curve},
+	}.Encode()
+	reqURL := c.base + wire.DecompressStreamPath(meshID) + "?" + q
+	framed := wire.AppendChunked(nil, comp.Payload, c.chunkSize())
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, reqURL, bytes.NewReader(framed))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", wire.ContentTypeChunked)
+		resp, err := c.hc.Do(req)
+		var retryAfter string
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			lastErr = err
+		} else if resp.StatusCode/100 == 2 {
+			n, err := c.copyChunked(w, resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return n / 8, fmt.Errorf("client: reading chunked values: %w", err)
+			}
+			if n%8 != 0 {
+				return n / 8, fmt.Errorf("client: server streamed %d bytes, not a multiple of 8", n)
+			}
+			if comp.NumValues != 0 && n/8 != comp.NumValues {
+				return n / 8, fmt.Errorf("client: server streamed %d values, artifact claims %d", n/8, comp.NumValues)
+			}
+			return n / 8, nil
+		} else {
+			retryAfter = resp.Header.Get("Retry-After")
+			se := statusError(resp)
+			lastErr = se
+			if !retryable(se.Code) {
+				return 0, se
+			}
+		}
+		if attempt >= c.maxRetries {
+			return 0, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, attempt+1, retryAfter); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// copyChunked unframes a chunked stream from r into w, returning the
+// payload bytes written.
+func (c *Client) copyChunked(w io.Writer, r io.Reader) (int, error) {
+	cr := wire.NewChunkReader(r)
+	buf := make([]byte, 0, c.chunkSize())
+	total := 0
+	for {
+		p, err := cr.Next(buf)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+		n, werr := w.Write(p)
+		total += n
+		if werr != nil {
+			return total, werr
+		}
+		buf = p
+	}
+}
+
+// CompressBatch compresses several fields of one registered mesh in a
+// single request against one cached server-side encoder — the recipe cost
+// is paid at most once for the whole batch (the paper's amortization
+// claim, made cross-process). All fields share opt and bound; results come
+// back in request order. The body is buffered, so the full retry/backoff
+// machinery applies.
+func (c *Client) CompressBatch(ctx context.Context, meshID string, fields []BatchField, opt zmesh.Options, bound zmesh.Bound) ([]*zmesh.Compressed, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("client: empty batch")
+	}
+	opt = withDefaults(opt)
+	var body bytes.Buffer
+	bw := wire.NewBatchWriter(&body)
+	meta := wire.FormatBound(bound)
+	var scratch []byte
+	for _, f := range fields {
+		scratch = wire.AppendFloats(scratch[:0], f.Values)
+		if err := bw.WriteSection(f.Name, meta, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	return c.sendBatch(ctx, meshID, body.Bytes(), opt)
+}
+
+// CompressCheckpoint is CompressBatch over every field of a checkpoint,
+// serialized one at a time through zmesh.EachFieldValues so the request
+// body is built with a single reused stream buffer.
+func (c *Client) CompressCheckpoint(ctx context.Context, meshID string, ck *zmesh.Checkpoint, opt zmesh.Options, bound zmesh.Bound) ([]*zmesh.Compressed, error) {
+	if len(ck.Fields) == 0 {
+		return nil, errors.New("client: checkpoint has no fields")
+	}
+	opt = withDefaults(opt)
+	var body bytes.Buffer
+	bw := wire.NewBatchWriter(&body)
+	meta := wire.FormatBound(bound)
+	var scratch []byte
+	if err := zmesh.EachFieldValues(ck, func(name string, values []float64) error {
+		scratch = wire.AppendFloats(scratch[:0], values)
+		return bw.WriteSection(name, meta, scratch)
+	}); err != nil {
+		return nil, err
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	return c.sendBatch(ctx, meshID, body.Bytes(), opt)
+}
+
+// sendBatch posts a built batch body to the checkpoint endpoint and parses
+// the sectioned response into artifacts.
+func (c *Client) sendBatch(ctx context.Context, meshID string, body []byte, opt zmesh.Options) ([]*zmesh.Compressed, error) {
+	q := url.Values{
+		wire.ParamLayout: {opt.Layout.String()},
+		wire.ParamCurve:  {opt.Curve},
+		wire.ParamCodec:  {opt.Codec},
+	}.Encode()
+	respBody, _, err := c.do(ctx, http.MethodPost, c.base+wire.CheckpointPath(meshID)+"?"+q, wire.ContentTypeBatch, body)
+	if err != nil {
+		return nil, err
+	}
+	br := wire.NewBatchReader(bytes.NewReader(respBody), 0)
+	var out []*zmesh.Compressed
+	var buf []byte
+	for {
+		name, meta, payload, err := br.Next(buf)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client: parsing batch response (server aborted mid-batch?): %w", err)
+		}
+		numValues, err := strconv.Atoi(meta)
+		if err != nil {
+			return nil, fmt.Errorf("client: batch section %q carries no value count: %w", name, err)
+		}
+		out = append(out, &zmesh.Compressed{
+			FieldName: name,
+			Layout:    opt.Layout,
+			Curve:     opt.Curve,
+			Codec:     opt.Codec,
+			NumValues: numValues,
+			Payload:   append([]byte(nil), payload...),
+		})
+		buf = payload
+	}
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"sync"
 
 	zmesh "repro"
@@ -147,10 +146,13 @@ func (s *store) encoder(e *meshEntry, opt zmesh.Options) (*zmesh.Encoder, error)
 		s.hits.Inc()
 	} else {
 		// Re-check the mesh is still admitted: an eviction racing this
-		// request must not resurrect encoder keys for a dropped mesh.
+		// request must not resurrect encoder keys for a dropped mesh. The
+		// eviction surfaces as 404 — the same contract as a mesh that was
+		// never registered, so clients re-register rather than retrying a
+		// "server error" that will never heal on its own.
 		if _, live := s.meshes.get(e.id); !live {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("server: mesh %s evicted", e.id)
+			return nil, notFound("mesh %s evicted, re-register it", e.id)
 		}
 		fut = &encoderFuture{}
 		s.encoders.add(key, fut)

@@ -107,29 +107,46 @@ type Server struct {
 	store *store
 	sem   chan struct{}
 	mux   *http.ServeMux
-	srv   *http.Server
 
-	mRegister   *endpointMetrics
-	mCompress   *endpointMetrics
-	mDecompress *endpointMetrics
+	// srvMu guards the Serve/Shutdown lifecycle: srv is written by Serve
+	// and read by Shutdown, and a Shutdown that lands before Serve must
+	// keep the later Serve from starting (shutdown latches).
+	srvMu    sync.Mutex
+	srv      *http.Server
+	shutdown bool
+
+	mRegister         *endpointMetrics
+	mCompress         *endpointMetrics
+	mDecompress       *endpointMetrics
+	mCompressStream   *endpointMetrics
+	mDecompressStream *endpointMetrics
+	mCheckpoint       *endpointMetrics
+	checkpointFields  *telemetry.Counter
 }
 
 // New constructs a server from cfg (zero-value fields get defaults).
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:         cfg,
-		reg:         cfg.Registry,
-		store:       newStore(cfg.MaxMeshes, cfg.MaxEncoders, cfg.Registry),
-		sem:         make(chan struct{}, cfg.MaxInflight),
-		mRegister:   newEndpointMetrics(cfg.Registry, "register"),
-		mCompress:   newEndpointMetrics(cfg.Registry, "compress"),
-		mDecompress: newEndpointMetrics(cfg.Registry, "decompress"),
+		cfg:               cfg,
+		reg:               cfg.Registry,
+		store:             newStore(cfg.MaxMeshes, cfg.MaxEncoders, cfg.Registry),
+		sem:               make(chan struct{}, cfg.MaxInflight),
+		mRegister:         newEndpointMetrics(cfg.Registry, "register"),
+		mCompress:         newEndpointMetrics(cfg.Registry, "compress"),
+		mDecompress:       newEndpointMetrics(cfg.Registry, "decompress"),
+		mCompressStream:   newEndpointMetrics(cfg.Registry, "compress_stream"),
+		mDecompressStream: newEndpointMetrics(cfg.Registry, "decompress_stream"),
+		mCheckpoint:       newEndpointMetrics(cfg.Registry, "checkpoint"),
+		checkpointFields:  cfg.Registry.Counter("server.checkpoint.fields"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+wire.PathMeshes, s.instrumented(s.mRegister, s.handleRegister))
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/compress", s.instrumented(s.mCompress, s.handleCompress))
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/decompress", s.instrumented(s.mDecompress, s.handleDecompress))
+	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/compress-stream", s.instrumented(s.mCompressStream, s.handleCompressStream))
+	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/decompress-stream", s.instrumented(s.mDecompressStream, s.handleDecompressStream))
+	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/checkpoint", s.instrumented(s.mCheckpoint, s.handleCheckpoint))
 	mux.HandleFunc("GET "+wire.PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
@@ -151,20 +168,37 @@ func (s *Server) Registry() *zmesh.Registry { return s.reg }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on ln until Shutdown. It returns
-// http.ErrServerClosed after a clean shutdown, mirroring net/http.
+// http.ErrServerClosed after a clean shutdown, mirroring net/http — and
+// immediately (closing ln) when Shutdown already ran, so a Serve racing a
+// Shutdown can never resurrect the server.
 func (s *Server) Serve(ln net.Listener) error {
-	s.srv = &http.Server{Handler: s.mux}
-	return s.srv.Serve(ln)
+	s.srvMu.Lock()
+	if s.shutdown {
+		s.srvMu.Unlock()
+		ln.Close()
+		return http.ErrServerClosed
+	}
+	if s.srv == nil {
+		s.srv = &http.Server{Handler: s.mux}
+	}
+	srv := s.srv
+	s.srvMu.Unlock()
+	return srv.Serve(ln)
 }
 
 // Shutdown drains the server: no new connections are accepted, in-flight
 // requests run to completion (subject to ctx), then Serve returns. This is
-// what zmeshd runs on SIGTERM.
+// what zmeshd runs on SIGTERM. Shutdown latches: once called, any Serve —
+// concurrent or later — refuses to start.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.srv == nil {
+	s.srvMu.Lock()
+	s.shutdown = true
+	srv := s.srv
+	s.srvMu.Unlock()
+	if srv == nil {
 		return nil
 	}
-	return s.srv.Shutdown(ctx)
+	return srv.Shutdown(ctx)
 }
 
 // instrumented wraps a handler with admission control and the endpoint's
@@ -192,7 +226,14 @@ func (s *Server) instrumented(m *endpointMetrics, h func(http.ResponseWriter, *h
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		if err := h(w, r); err != nil {
 			m.errors.Inc()
-			writeError(w, statusFor(err), err)
+			// A handler that already committed its response (streaming
+			// endpoints after the first body byte) signals failure on the
+			// wire itself — a truncated chunk/batch stream with no
+			// terminator — and a JSON error appended to a half-written
+			// binary body would only corrupt it further.
+			if !errors.Is(err, errCommitted) {
+				writeError(w, statusFor(err), err)
+			}
 		}
 		m.latency.Since(t0)
 	}
@@ -208,6 +249,15 @@ func (e *httpError) Error() string { return e.err.Error() }
 func (e *httpError) Unwrap() error { return e.err }
 
 func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+
+// errCommitted marks a handler failure that happened after the response
+// status and some body bytes were already written: instrumented() counts
+// it but must not append a JSON error to the committed body. The client
+// detects the failure as a truncated stream (missing terminator frame).
+var errCommitted = errors.New("response already committed")
+
+// committed wraps err so instrumented() skips writeError.
+func committed(err error) error { return fmt.Errorf("%w: %w", errCommitted, err) }
 
 func notFound(format string, args ...any) error {
 	return &httpError{status: http.StatusNotFound, err: fmt.Errorf(format, args...)}
@@ -249,18 +299,35 @@ type requestScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(requestScratch) }}
 
-// maxPooledBody caps the body buffer a scratch may carry back into the pool:
-// one unusually large request must not pin its buffers for the pool's
-// lifetime.
-const maxPooledBody = 64 << 20
+// maxPooledBody caps the total bytes a scratch may carry back into the
+// pool: one unusually large request must not pin its buffers for the
+// pool's lifetime. The audit covers every pooled buffer — the body, the
+// float decode buffer, and the pipeline Scratch's internal buffers — not
+// just the body; a big-endian or misaligned request grows sc.values to the
+// full field size without ever touching sc.body, and before this cap
+// applied to all of them such a request pinned its float buffers forever.
+// A variable (not a const) so the regression test can lower it.
+var maxPooledBody = 64 << 20
+
+// pinnedBytes is the total capacity the scratch would pin in the pool.
+func (sc *requestScratch) pinnedBytes() int {
+	return cap(sc.body) + 8*cap(sc.values) + sc.zs.PinnedBytes()
+}
 
 func putScratch(sc *requestScratch) {
-	if cap(sc.body) > maxPooledBody {
+	if sc.pinnedBytes() > maxPooledBody {
 		*sc = requestScratch{}
 	}
 	sc.artifact = zmesh.Compressed{}
 	scratchPool.Put(sc)
 }
+
+// readBodySeed caps how much buffer a declared Content-Length may allocate
+// up front. A client can declare any length and then send nothing, so the
+// declaration only seeds the buffer up to this bound; past it the buffer
+// grows geometrically as bytes actually arrive — a 1 GiB lie costs one
+// 1 MiB allocation, not a 1 GiB one.
+const readBodySeed = 1 << 20
 
 // readBody reads the whole request body into buf (grown as needed, reused
 // otherwise). A declared Content-Length beyond the server's cap fails
@@ -271,8 +338,14 @@ func (s *Server) readBody(r *http.Request, buf []byte) ([]byte, error) {
 	if r.ContentLength > s.cfg.MaxBodyBytes {
 		return buf, &http.MaxBytesError{Limit: s.cfg.MaxBodyBytes}
 	}
-	if n := int(r.ContentLength); n > 0 && cap(buf) < n {
-		buf = make([]byte, 0, n)
+	if n := r.ContentLength; n > 0 && int64(cap(buf)) < n {
+		seed := n
+		if seed > readBodySeed {
+			seed = readBodySeed
+		}
+		if cap(buf) < int(seed) {
+			buf = make([]byte, 0, seed)
+		}
 	}
 	buf = buf[:0]
 	for {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -89,6 +90,12 @@ func run(ctx context.Context, bin, problem string) error {
 	fmt.Printf("e2esmoke: daemon up at %s\n", base)
 
 	if err := roundTrip(ctx, base, problem); err != nil {
+		return err
+	}
+	if err := streamRoundTrip(ctx, base, problem); err != nil {
+		return err
+	}
+	if err := checkpointRoundTrip(ctx, base, problem); err != nil {
 		return err
 	}
 	if err := checkVars(ctx, base); err != nil {
@@ -174,27 +181,162 @@ func roundTrip(ctx context.Context, base, problem string) error {
 	return nil
 }
 
-// checkVars scrapes /debug/vars and requires the daemon's telemetry to show
-// the traffic we just sent: requests counted, recipes built, cache hits
-// from the second-and-later fields reusing the encoder.
-func checkVars(ctx context.Context, base string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+wire.PathVars, nil)
+// streamRoundTrip pushes one field through the chunked streaming endpoints
+// with a deliberately small chunk size (many frames) and requires the
+// artifact and the reconstruction bit-identical to the buffered path.
+func streamRoundTrip(ctx context.Context, base, problem string) error {
+	ck, err := zmesh.Generate(problem, zmesh.GenerateOptions{Resolution: 64})
+	if err != nil {
+		return fmt.Errorf("generating checkpoint: %w", err)
+	}
+	f := ck.Fields[0]
+	opt := zmesh.DefaultOptions()
+	bound := zmesh.AbsBound(1e-3)
+	enc, err := zmesh.NewEncoder(ck.Mesh, opt)
 	if err != nil {
 		return err
 	}
+	want, err := enc.CompressField(f, bound)
+	if err != nil {
+		return err
+	}
+
+	cl := client.New(base, client.WithChunkBytes(4096))
+	id, err := cl.Register(ctx, ck.Mesh)
+	if err != nil {
+		return err
+	}
+	values := zmesh.FieldValues(f)
+	got, err := cl.CompressStream(ctx, id, f.Name, bytes.NewReader(wire.AppendFloats(nil, values)), opt, bound)
+	if err != nil {
+		return fmt.Errorf("compress-stream %s: %w", f.Name, err)
+	}
+	if string(got.Payload) != string(want.Payload) {
+		return fmt.Errorf("field %s: streamed artifact differs from library artifact (%d vs %d bytes)",
+			f.Name, len(got.Payload), len(want.Payload))
+	}
+	var out bytes.Buffer
+	n, err := cl.DecompressStream(ctx, id, got, &out)
+	if err != nil {
+		return fmt.Errorf("decompress-stream %s: %w", f.Name, err)
+	}
+	if n != len(values) {
+		return fmt.Errorf("field %s: decompress-stream returned %d values, want %d", f.Name, n, len(values))
+	}
+	streamed, err := wire.DecodeFloats(out.Bytes())
+	if err != nil {
+		return err
+	}
+	dec := zmesh.NewDecoder(ck.Mesh)
+	wantField, err := dec.DecompressField(want)
+	if err != nil {
+		return err
+	}
+	wantValues := zmesh.FieldValues(wantField)
+	for i := range wantValues {
+		if math.Float64bits(streamed[i]) != math.Float64bits(wantValues[i]) {
+			return fmt.Errorf("field %s: streamed value %d differs", f.Name, i)
+		}
+	}
+	fmt.Printf("e2esmoke: field %-8s round-tripped bit-exact via chunked streaming (%d values)\n", f.Name, n)
+	return nil
+}
+
+// checkpointRoundTrip compresses every field of a snapshot in one batch
+// request against a fresh pipeline (a curve no earlier step used) and
+// requires exactly one recipe build for the whole checkpoint — the paper's
+// amortization claim, asserted against the daemon's own counters.
+func checkpointRoundTrip(ctx context.Context, base, problem string) error {
+	ck, err := zmesh.Generate(problem, zmesh.GenerateOptions{Resolution: 64})
+	if err != nil {
+		return fmt.Errorf("generating checkpoint: %w", err)
+	}
+	// "morton" keeps this pipeline distinct from the default "hilbert" used
+	// by the earlier round trips, so the recipe.builds delta isolates the
+	// batch request.
+	opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "morton", Codec: "sz"}
+	bound := zmesh.AbsBound(1e-3)
+
+	buildsBefore, err := scrapeCounter(ctx, base, "recipe.builds")
+	if err != nil {
+		return err
+	}
+	cl := client.New(base)
+	id, err := cl.Register(ctx, ck.Mesh)
+	if err != nil {
+		return err
+	}
+	arts, err := cl.CompressCheckpoint(ctx, id, ck, opt, bound)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(arts) != len(ck.Fields) {
+		return fmt.Errorf("checkpoint returned %d artifacts for %d fields", len(arts), len(ck.Fields))
+	}
+	enc, err := zmesh.NewEncoder(ck.Mesh, opt)
+	if err != nil {
+		return err
+	}
+	for i, f := range ck.Fields {
+		want, err := enc.CompressField(f, bound)
+		if err != nil {
+			return err
+		}
+		if string(arts[i].Payload) != string(want.Payload) {
+			return fmt.Errorf("field %s: batch artifact differs from library artifact", f.Name)
+		}
+	}
+	buildsAfter, err := scrapeCounter(ctx, base, "recipe.builds")
+	if err != nil {
+		return err
+	}
+	if got := buildsAfter - buildsBefore; got != 1 {
+		return fmt.Errorf("checkpoint of %d fields cost %d recipe builds, want exactly 1", len(ck.Fields), got)
+	}
+	fmt.Printf("e2esmoke: checkpoint of %d fields batch-compressed with exactly 1 recipe build\n", len(ck.Fields))
+	return nil
+}
+
+// scrapeCounter reads one counter from /debug/vars.
+func scrapeCounter(ctx context.Context, base, name string) (int64, error) {
+	snap, err := scrapeVars(ctx, base)
+	if err != nil {
+		return 0, err
+	}
+	return snap.Counters[name], nil
+}
+
+// scrapeVars fetches and parses the daemon's telemetry snapshot.
+func scrapeVars(ctx context.Context, base string) (*telemetry.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+wire.PathVars, nil)
+	if err != nil {
+		return nil, err
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return fmt.Errorf("scraping %s: %w", wire.PathVars, err)
+		return nil, fmt.Errorf("scraping %s: %w", wire.PathVars, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s returned %d", wire.PathVars, resp.StatusCode)
+		return nil, fmt.Errorf("%s returned %d", wire.PathVars, resp.StatusCode)
 	}
 	var vars struct {
 		Zmeshd telemetry.Snapshot `json:"zmeshd"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
-		return fmt.Errorf("parsing %s: %w", wire.PathVars, err)
+		return nil, fmt.Errorf("parsing %s: %w", wire.PathVars, err)
+	}
+	return &vars.Zmeshd, nil
+}
+
+// checkVars scrapes /debug/vars and requires the daemon's telemetry to show
+// the traffic we just sent: requests counted on every endpoint exercised
+// (including the streaming and checkpoint ones), recipes built, cache hits
+// from the second-and-later fields reusing the encoder.
+func checkVars(ctx context.Context, base string) error {
+	snap, err := scrapeVars(ctx, base)
+	if err != nil {
+		return err
 	}
 	checks := []struct {
 		name string
@@ -203,18 +345,22 @@ func checkVars(ctx context.Context, base string) error {
 		{"server.register.requests", 1},
 		{"server.compress.requests", 1},
 		{"server.decompress.requests", 1},
+		{"server.compress_stream.requests", 1},
+		{"server.decompress_stream.requests", 1},
+		{"server.checkpoint.requests", 1},
+		{"server.checkpoint.fields", 2}, // the batch carried the whole snapshot
 		{"server.cache.misses", 1},
 		{"server.cache.hits", 1}, // later fields reuse the first field's encoder
 		{"recipe.builds", 1},
 	}
 	for _, c := range checks {
-		if got := vars.Zmeshd.Counters[c.name]; got < c.min {
+		if got := snap.Counters[c.name]; got < c.min {
 			return fmt.Errorf("/debug/vars counter %s = %d, want >= %d (counters: %v)",
-				c.name, got, c.min, vars.Zmeshd.Counters)
+				c.name, got, c.min, snap.Counters)
 		}
 	}
-	fmt.Printf("e2esmoke: telemetry ok (%d recipe builds, %d cache hits, %d compress requests)\n",
-		vars.Zmeshd.Counters["recipe.builds"], vars.Zmeshd.Counters["server.cache.hits"],
-		vars.Zmeshd.Counters["server.compress.requests"])
+	fmt.Printf("e2esmoke: telemetry ok (%d recipe builds, %d cache hits, %d compress requests, %d checkpoint fields)\n",
+		snap.Counters["recipe.builds"], snap.Counters["server.cache.hits"],
+		snap.Counters["server.compress.requests"], snap.Counters["server.checkpoint.fields"])
 	return nil
 }

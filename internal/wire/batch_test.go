@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+type section struct {
+	name, meta string
+	payload    []byte
+}
+
+func writeBatch(t *testing.T, secs []section) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	bw := NewBatchWriter(&b)
+	for _, s := range secs {
+		if err := bw.WriteSection(s.name, s.meta, s.payload); err != nil {
+			t.Fatalf("WriteSection(%q): %v", s.name, err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return b.Bytes()
+}
+
+func readBatch(r io.Reader, maxPayload int64) ([]section, error) {
+	br := NewBatchReader(r, maxPayload)
+	var out []section
+	var buf []byte
+	for {
+		name, meta, payload, err := br.Next(buf)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, section{name, meta, append([]byte(nil), payload...)})
+		buf = payload
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		secs []section
+	}{
+		{"empty batch", nil},
+		{"one section", []section{{"density", "abs:1e-3", patternBytes(64)}}},
+		{"several sections", []section{
+			{"density", "abs:1e-3", patternBytes(800)},
+			{"pressure", "rel:1e-4", patternBytes(8)},
+			{"energy", "", nil},
+		}},
+		{"payload larger than seed", []section{{"big", "abs:1", patternBytes(batchReadSeed + 4096)}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := writeBatch(t, tc.secs)
+			got, err := readBatch(bytes.NewReader(body), 0)
+			if err != nil {
+				t.Fatalf("read back: %v", err)
+			}
+			if len(got) != len(tc.secs) {
+				t.Fatalf("got %d sections, want %d", len(got), len(tc.secs))
+			}
+			for i, s := range tc.secs {
+				if got[i].name != s.name || got[i].meta != s.meta {
+					t.Fatalf("section %d: got (%q, %q), want (%q, %q)", i, got[i].name, got[i].meta, s.name, s.meta)
+				}
+				if !bytes.Equal(got[i].payload, s.payload) {
+					t.Fatalf("section %d (%q): payload mismatch", i, s.name)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchReaderRejects(t *testing.T) {
+	valid := writeBatch(t, []section{{"field", "abs:1e-3", patternBytes(32)}})
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"bad magic", func(b []byte) []byte { b[3] = '9'; return b }, ErrBatchMagic},
+		{"empty input", func([]byte) []byte { return nil }, ErrBatchMagic},
+		{"truncated mid-name", func(b []byte) []byte { return b[:8] }, io.ErrUnexpectedEOF},
+		{"truncated mid-payload", func(b []byte) []byte { return b[:len(b)-20] }, io.ErrUnexpectedEOF},
+		{"missing terminator", func(b []byte) []byte { return b[:len(b)-2] }, io.ErrUnexpectedEOF},
+		{"corrupt payload", func(b []byte) []byte { b[len(b)-10] ^= 0x01; return b }, ErrBatchChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			_, err := readBatch(bytes.NewReader(b), 0)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got error %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBatchReaderPayloadCap(t *testing.T) {
+	body := writeBatch(t, []section{{"field", "", patternBytes(1024)}})
+	if _, err := readBatch(bytes.NewReader(body), 100); !errors.Is(err, ErrBatchPayloadTooLarge) {
+		t.Fatalf("got %v, want ErrBatchPayloadTooLarge", err)
+	}
+	if _, err := readBatch(bytes.NewReader(body), 1024); err != nil {
+		t.Fatalf("payload exactly at cap rejected: %v", err)
+	}
+}
+
+// TestReadDeclaredBomb is the declared-length regression: a section header
+// claiming 1 GiB while delivering a handful of bytes must not allocate a
+// 1 GiB buffer — the seed caps the up-front allocation and the reader fails
+// on truncation instead.
+func TestReadDeclaredBomb(t *testing.T) {
+	var b []byte
+	b = append(b, batchMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, 5)
+	b = append(b, "field"...)
+	b = binary.LittleEndian.AppendUint16(b, 0)
+	b = binary.LittleEndian.AppendUint64(b, 1<<30) // 1 GiB declared
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = append(b, "only this arrives"...)
+
+	br := NewBatchReader(bytes.NewReader(b), 0) // cap disabled: the seed alone must protect
+	_, _, payload, err := br.Next(nil)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want ErrUnexpectedEOF", err)
+	}
+	if cap(payload) > 2*batchReadSeed {
+		t.Fatalf("reader allocated %d bytes for a lying length prefix; want <= %d", cap(payload), 2*batchReadSeed)
+	}
+}
+
+func TestBatchWriterRejectsOversizedName(t *testing.T) {
+	bw := NewBatchWriter(io.Discard)
+	if err := bw.WriteSection(string(make([]byte, batchTerminator)), "", nil); err == nil {
+		t.Fatal("name of terminator length accepted; it would be read back as end-of-batch")
+	}
+	if err := bw.WriteSection("ok", string(make([]byte, batchTerminator)), nil); err == nil {
+		t.Fatal("meta of terminator length accepted")
+	}
+}

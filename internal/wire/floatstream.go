@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// FloatAssembler incrementally decodes a float64-LE value stream that
+// arrives in arbitrarily split byte spans — the decode side of the chunked
+// wire mode, where a float64 may straddle a chunk boundary. Feed spans in
+// order, then Finish to take the decoded values. The zero value is ready
+// to use; Reset adopts a caller-owned destination buffer so pooled callers
+// decode without allocating.
+type FloatAssembler struct {
+	vals []float64
+	rem  [8]byte
+	nrem int
+}
+
+// Reset clears the assembler and adopts buf (len 0..cap reused) as the
+// decode destination.
+func (a *FloatAssembler) Reset(buf []float64) {
+	a.vals = buf[:0]
+	a.nrem = 0
+}
+
+// Grow ensures capacity for n total values, so callers that know the
+// stream length (the server knows the mesh's cell count) pay one exact
+// allocation instead of append's geometric growth.
+func (a *FloatAssembler) Grow(n int) {
+	if cap(a.vals) < n {
+		next := make([]float64, len(a.vals), n)
+		copy(next, a.vals)
+		a.vals = next
+	}
+}
+
+// Len reports the number of values decoded so far (excluding a pending
+// partial value).
+func (a *FloatAssembler) Len() int { return len(a.vals) }
+
+// Feed decodes p into the value buffer, carrying at most 7 remainder bytes
+// to the next call. p is not retained.
+func (a *FloatAssembler) Feed(p []byte) {
+	if a.nrem > 0 {
+		n := copy(a.rem[a.nrem:], p)
+		a.nrem += n
+		p = p[n:]
+		if a.nrem < 8 {
+			return
+		}
+		a.vals = append(a.vals, math.Float64frombits(binary.LittleEndian.Uint64(a.rem[:])))
+		a.nrem = 0
+	}
+	whole := len(p) &^ 7
+	if src, ok := ViewFloats(p[:whole]); ok {
+		a.vals = append(a.vals, src...)
+	} else {
+		for i := 0; i < whole; i += 8 {
+			a.vals = append(a.vals, math.Float64frombits(binary.LittleEndian.Uint64(p[i:])))
+		}
+	}
+	a.nrem = copy(a.rem[:], p[whole:])
+}
+
+// Finish returns the decoded values. A trailing partial value (stream
+// length not a multiple of 8) is an error, mirroring DecodeFloats.
+func (a *FloatAssembler) Finish() ([]float64, error) {
+	if a.nrem != 0 {
+		return nil, fmt.Errorf("wire: value stream ends with %d trailing bytes, not a multiple of 8", a.nrem)
+	}
+	return a.vals, nil
+}

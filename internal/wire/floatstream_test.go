@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func assembleSplit(t *testing.T, encoded []byte, step int) []float64 {
+	t.Helper()
+	var a FloatAssembler
+	a.Reset(nil)
+	for off := 0; off < len(encoded); off += step {
+		end := off + step
+		if end > len(encoded) {
+			end = len(encoded)
+		}
+		a.Feed(encoded[off:end])
+	}
+	vals, err := a.Finish()
+	if err != nil {
+		t.Fatalf("Finish (step %d): %v", step, err)
+	}
+	return vals
+}
+
+// TestFloatAssemblerSplits feeds the same stream at every split granularity
+// from byte-at-a-time up past the aligned fast path: a float64 straddling a
+// chunk boundary must decode identically in all of them.
+func TestFloatAssemblerSplits(t *testing.T) {
+	want := make([]float64, 257)
+	for i := range want {
+		want[i] = math.Sin(float64(i)) * math.Pow(10, float64(i%7-3))
+	}
+	want[0] = math.Inf(1)
+	want[1] = math.Copysign(0, -1)
+	encoded := AppendFloats(nil, want)
+
+	for _, step := range []int{1, 3, 7, 8, 13, 64, 1000, len(encoded)} {
+		got := assembleSplit(t, encoded, step)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: got %d values, want %d", step, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("step %d: value %d = %v, want %v", step, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFloatAssemblerTrailingBytes(t *testing.T) {
+	var a FloatAssembler
+	a.Reset(nil)
+	a.Feed(make([]byte, 11)) // one value + 3 trailing bytes
+	if _, err := a.Finish(); err == nil {
+		t.Fatal("Finish accepted a stream with trailing bytes")
+	}
+}
+
+func TestFloatAssemblerGrowNoRealloc(t *testing.T) {
+	const n = 100
+	encoded := AppendFloats(nil, make([]float64, n))
+	var a FloatAssembler
+	a.Reset(nil)
+	a.Grow(n)
+	before := cap(a.vals)
+	a.Feed(encoded)
+	vals, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != n || cap(vals) != before {
+		t.Fatalf("Grow(%d) did not pre-size: len %d cap %d (was %d)", n, len(vals), cap(vals), before)
+	}
+}
+
+func TestFloatAssemblerReset(t *testing.T) {
+	var a FloatAssembler
+	a.Reset(nil)
+	a.Feed([]byte{1, 2, 3}) // leave a pending partial
+	buf := make([]float64, 0, 8)
+	a.Reset(buf)
+	a.Feed(AppendFloats(nil, []float64{42}))
+	vals, err := a.Finish()
+	if err != nil {
+		t.Fatalf("Reset did not clear the pending partial: %v", err)
+	}
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Fatalf("got %v, want [42]", vals)
+	}
+	if cap(vals) != 8 {
+		t.Fatalf("Reset did not adopt the caller's buffer (cap %d)", cap(vals))
+	}
+}

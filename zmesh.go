@@ -331,6 +331,13 @@ type Scratch struct {
 	flat    []float64
 }
 
+// PinnedBytes reports the total capacity, in bytes, of the scratch's
+// internal buffers. Pools that cap how much memory an idle pooled object
+// may pin use this to audit a Scratch the same way they audit their own
+// byte buffers (one huge request must not park its buffers in the pool
+// forever).
+func (s *Scratch) PinnedBytes() int { return 8 * (cap(s.ordered) + cap(s.flat)) }
+
 // compressWith is CompressField with an explicit codec instance.
 func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound) (*Compressed, error) {
 	return e.compressInto(codec, f, bound, &encodeScratch{})
@@ -737,6 +744,24 @@ func PSNR(orig, recon *Field) (float64, error) {
 // level order (the baseline stream).
 func FieldValues(f *Field) []float64 {
 	return amr.Flatten(amr.LevelArrays(f))
+}
+
+// EachFieldValues iterates a checkpoint's fields in order, invoking fn
+// once per field with its name and level-order value stream — the
+// snapshot-walking helper behind batch checkpoint writers (e.g. the zmeshd
+// client's CompressCheckpoint). The values slice is reused across calls:
+// fn must consume or copy it before returning, and the iteration allocates
+// one stream buffer total instead of one per field. Iteration stops at the
+// first error, which is returned verbatim.
+func EachFieldValues(ck *Checkpoint, fn func(name string, values []float64) error) error {
+	var buf []float64
+	for _, f := range ck.Fields {
+		buf = amr.AppendLevelOrder(buf[:0], f)
+		if err := fn(f.Name, buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FieldFromValues rebuilds a field bound to m from its level-order stream —
