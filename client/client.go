@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	zmesh "repro"
@@ -93,10 +95,28 @@ func New(baseURL string, opts ...Option) *Client {
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the verbatim Retry-After header, if the server sent one
+	// — a routing layer sweeping several replicas uses it to honor the shed
+	// hint across the whole sweep, not just one host's retry loop.
+	RetryAfter string
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
+}
+
+// IsConnectError reports whether err is a failure to establish a TCP
+// connection at all (connection refused, no route, dial timeout) — the
+// server never saw the request. Exponential backoff is the wrong response
+// to these: the host is down, not overloaded, so the retry loop uses a
+// flat base delay and a routing client fails over to the next replica
+// immediately.
+func IsConnectError(err error) bool {
+	var oe *net.OpError
+	if errors.As(err, &oe) && oe.Op == "dial" {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
 }
 
 // retryable reports whether a status is worth another attempt: admission
@@ -170,6 +190,19 @@ func (c *Client) backoffDelay(attempt int, retryAfter string) time.Duration {
 	return c.jitter(d)
 }
 
+// retryDelay is backoffDelay made failure-aware: a connect error (the
+// listener is gone, nothing was ever sent) gets a flat jittered base delay
+// instead of the exponential window — backing off exponentially against a
+// dead socket just burns the caller's deadline without easing any load.
+// Everything else (shed responses, transport errors mid-request) keeps the
+// exponential schedule.
+func (c *Client) retryDelay(attempt int, retryAfter string, lastErr error) time.Duration {
+	if IsConnectError(lastErr) {
+		return c.jitter(c.baseBackoff)
+	}
+	return c.backoffDelay(attempt, retryAfter)
+}
+
 // do issues one request with retries, returning the response body and
 // headers of the first 2xx answer. The body is re-sent from buf on each
 // attempt; ctx bounds the whole retry loop including the backoff sleeps.
@@ -206,7 +239,7 @@ func (c *Client) do(ctx context.Context, method, url, contentType string, buf []
 				if json.Unmarshal(body, &je) == nil && je.Error != "" {
 					msg = je.Error
 				}
-				lastErr = &StatusError{Code: status, Msg: msg}
+				lastErr = &StatusError{Code: status, Msg: msg, RetryAfter: retryAfter}
 				if !retryable(status) {
 					return nil, nil, lastErr
 				}
@@ -215,7 +248,7 @@ func (c *Client) do(ctx context.Context, method, url, contentType string, buf []
 		if attempt >= c.maxRetries {
 			return nil, nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
-		t := time.NewTimer(c.backoffDelay(attempt+1, retryAfter))
+		t := time.NewTimer(c.retryDelay(attempt+1, retryAfter, lastErr))
 		select {
 		case <-ctx.Done():
 			t.Stop()

@@ -1,0 +1,446 @@
+// ClusterClient: shard-aware routing over a zmeshd cluster.
+//
+// A cluster of zmeshd replicas (internal/cluster, server cluster mode)
+// places each mesh on R owners by consistent hashing of the mesh id. The
+// ClusterClient holds the same ring the replicas do — fetched from
+// /v1/ring at first use — and routes every request straight to an owner,
+// so the common case is one hop to a replica that has the recipe cached.
+//
+// Failure handling is layered:
+//
+//   - connect error / transport error / retryable status (429, 5xx): fail
+//     over to the next owner in placement order, immediately — per-host
+//     retry is disabled (the router owns the retry budget), so a killed
+//     replica costs one failed dial, not a backoff window.
+//   - 421 Misdirected Request: this client's ring is stale (membership
+//     changed). Re-fetch /v1/ring, recompute the owners, rescan.
+//   - whole sweep failed: sleep one jittered backoff round — honoring the
+//     largest Retry-After any replica sent — then sweep again, up to the
+//     configured retry budget.
+//
+// Registration is the one fan-out: structure bytes go to every owner (any
+// single owner would do for correctness — peers heal each other — but
+// seeding all R of them means no client ever pays the peer-fetch latency).
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	zmesh "repro"
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// ClusterClient routes requests across a zmeshd cluster by mesh id. It is
+// safe for concurrent use.
+type ClusterClient struct {
+	seeds    []string
+	template *Client // carries the caller's backoff/chunk/transport config
+	opts     []Option
+
+	mu      sync.RWMutex
+	ring    *cluster.Ring
+	clients map[string]*Client // per-host clients, retries disabled
+
+	// Stats counters (see Stats): the harness asserts bounded retries.
+	attempts      atomic.Int64
+	failovers     atomic.Int64
+	ringRefreshes atomic.Int64
+	maxAttempts   atomic.Int64
+}
+
+// NewCluster creates a routing client from one or more seed URLs (any
+// replica works; the full membership comes from /v1/ring). The options are
+// applied to every per-host client except the retry budget, which the
+// router owns: WithMaxRetries configures how many full sweeps of the owner
+// list a request may take (default as for New).
+func NewCluster(seeds []string, opts ...Option) (*ClusterClient, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("client: cluster needs at least one seed URL")
+	}
+	trimmed := make([]string, len(seeds))
+	for i, s := range seeds {
+		trimmed[i] = strings.TrimRight(s, "/")
+	}
+	return &ClusterClient{
+		seeds:    trimmed,
+		template: New(trimmed[0], opts...),
+		opts:     opts,
+		clients:  make(map[string]*Client),
+	}, nil
+}
+
+// ClusterStats is a snapshot of the router's failure-handling counters.
+type ClusterStats struct {
+	// Attempts is the total per-replica request attempts issued.
+	Attempts int64
+	// Failovers counts attempts that moved on to another replica after a
+	// connect error, transport error, or retryable status.
+	Failovers int64
+	// RingRefreshes counts /v1/ring re-fetches triggered by 421s.
+	RingRefreshes int64
+	// MaxAttemptsPerOp is the worst attempt count any single operation
+	// needed — the harness asserts this stays within the retry budget.
+	MaxAttemptsPerOp int64
+}
+
+// Stats returns a snapshot of the router's counters.
+func (cc *ClusterClient) Stats() ClusterStats {
+	return ClusterStats{
+		Attempts:         cc.attempts.Load(),
+		Failovers:        cc.failovers.Load(),
+		RingRefreshes:    cc.ringRefreshes.Load(),
+		MaxAttemptsPerOp: cc.maxAttempts.Load(),
+	}
+}
+
+// clientFor returns (creating if needed) the per-host client for node. Per-
+// host retries are disabled: the router decides what to do with each
+// failure, so a dead replica costs one failed dial instead of a backoff
+// window (the satellite fix for treating connect-refused like a 5xx).
+func (cc *ClusterClient) clientFor(node string) *Client {
+	cc.mu.RLock()
+	cl := cc.clients[node]
+	cc.mu.RUnlock()
+	if cl != nil {
+		return cl
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cl = cc.clients[node]; cl == nil {
+		cl = New(node, append(append([]Option(nil), cc.opts...), WithMaxRetries(0))...)
+		cc.clients[node] = cl
+	}
+	return cl
+}
+
+// Ring returns the client's current view of the cluster ring, fetching it
+// on first use.
+func (cc *ClusterClient) Ring(ctx context.Context) (*cluster.Ring, error) {
+	cc.mu.RLock()
+	r := cc.ring
+	cc.mu.RUnlock()
+	if r != nil {
+		return r, nil
+	}
+	return cc.refreshRing(ctx)
+}
+
+// refreshRing re-fetches /v1/ring, trying every known node and then the
+// seeds. A cluster where no replica serves a ring (all 404) degrades to a
+// single-shard ring over the seeds — so the ClusterClient pointed at a
+// plain single-node zmeshd just works.
+func (cc *ClusterClient) refreshRing(ctx context.Context) (*cluster.Ring, error) {
+	cc.ringRefreshes.Add(1)
+	cc.mu.RLock()
+	known := append([]string(nil), cc.seeds...)
+	if cc.ring != nil {
+		known = append(cc.ring.Nodes(), known...)
+	}
+	cc.mu.RUnlock()
+
+	var lastErr error
+	sawRingless := false
+	seen := make(map[string]bool, len(known))
+	for _, node := range known {
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		rr, err := cc.fetchRing(ctx, node)
+		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) && se.Code == http.StatusNotFound {
+				sawRingless = true // live replica, just not clustered
+			} else {
+				lastErr = err
+			}
+			continue
+		}
+		ring, err := cluster.New(rr.Nodes, rr.VNodes, rr.Replication)
+		if err != nil {
+			lastErr = fmt.Errorf("client: replica %s served an invalid ring: %w", node, err)
+			continue
+		}
+		cc.setRing(ring)
+		return ring, nil
+	}
+	if sawRingless {
+		// Single-node compatibility: every reachable replica says "no ring",
+		// so route everything to the seeds with no replication.
+		ring, err := cluster.New(cc.seeds, cluster.DefaultVNodes, 1)
+		if err != nil {
+			return nil, err
+		}
+		cc.setRing(ring)
+		return ring, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no replica reachable")
+	}
+	return nil, fmt.Errorf("client: fetching cluster ring: %w", lastErr)
+}
+
+func (cc *ClusterClient) setRing(r *cluster.Ring) {
+	cc.mu.Lock()
+	cc.ring = r
+	cc.mu.Unlock()
+}
+
+// fetchRing GETs one node's /v1/ring without retries.
+func (cc *ClusterClient) fetchRing(ctx context.Context, node string) (*wire.RingResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+wire.PathRing, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cc.template.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	defer resp.Body.Close()
+	var rr wire.RingResponse
+	if err := decodeJSON(resp.Body, &rr); err != nil {
+		return nil, fmt.Errorf("client: decoding ring response: %w", err)
+	}
+	return &rr, nil
+}
+
+// failover classifies an error from one replica: should the router move on
+// to the next owner?
+func failover(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return retryable(se.Code)
+	}
+	// Transport-level failures (connect refused, reset, timeout) all mean
+	// "this replica can't answer right now" — the next owner might.
+	return true
+}
+
+// misdirectedErr reports a 421: the replica disowns the mesh, so the ring
+// is stale.
+func misdirectedErr(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusMisdirectedRequest
+}
+
+// retryAfterOf extracts a replica's Retry-After hint, if any.
+func retryAfterOf(err error) string {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return ""
+}
+
+// route runs op against the owners of meshID in placement order. Sweep
+// semantics: each owner gets one attempt per round; a 421 triggers a ring
+// refresh and a rescan of the (possibly new) owner list within the same
+// round; a fully failed round sleeps one backoff step before the next. The
+// round budget is the template's WithMaxRetries.
+func (cc *ClusterClient) route(ctx context.Context, meshID string, op func(context.Context, *Client) error) error {
+	ring, err := cc.Ring(ctx)
+	if err != nil {
+		return err
+	}
+	var attempts int64
+	defer func() {
+		cc.attempts.Add(attempts)
+		for {
+			cur := cc.maxAttempts.Load()
+			if attempts <= cur || cc.maxAttempts.CompareAndSwap(cur, attempts) {
+				return
+			}
+		}
+	}()
+
+	var lastErr error
+	for round := 0; ; round++ {
+		owners := ring.Owners(meshID)
+		var retryAfter string
+		refreshed := false
+	sweep:
+		for i := 0; i < len(owners); i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			attempts++
+			err := op(ctx, cc.clientFor(owners[i]))
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			switch {
+			case misdirectedErr(err):
+				// Stale ring. Refresh once per sweep and rescan the new
+				// owner list from the top; a second 421 after a fresh ring
+				// means the cluster itself is mid-reconfiguration — treat
+				// it like any failed attempt.
+				if !refreshed {
+					refreshed = true
+					if newRing, rerr := cc.refreshRing(ctx); rerr == nil {
+						ring = newRing
+						owners = ring.Owners(meshID)
+						i = -1 // rescan from the first owner
+						continue sweep
+					}
+				}
+			case failover(err):
+				if ra := retryAfterOf(err); ra != "" {
+					retryAfter = ra
+				}
+				cc.failovers.Add(1)
+			default:
+				return err // terminal client error (4xx): no replica will differ
+			}
+		}
+		if round >= cc.template.maxRetries {
+			return fmt.Errorf("client: all %d owners failed after %d rounds: %w", len(owners), round+1, lastErr)
+		}
+		if err := cc.template.sleep(ctx, round+1, retryAfter, lastErr); err != nil {
+			return err
+		}
+	}
+}
+
+// RegisterMesh registers structure bytes on every owner of their content
+// address and returns the mesh id. The id is computed locally (it is the
+// SHA-256 of the bytes), so routing happens before any request is sent.
+// Registration succeeds if at least one owner accepted; owners that were
+// down heal later via peer fetch.
+func (cc *ClusterClient) RegisterMesh(ctx context.Context, structure []byte) (string, error) {
+	id := cluster.MeshID(structure)
+	ring, err := cc.Ring(ctx)
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	for round := 0; ; round++ {
+		owners := ring.Owners(id)
+		accepted := 0
+		refreshed := false
+		var retryAfter string
+		for i := 0; i < len(owners); i++ {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			cc.attempts.Add(1)
+			got, err := cc.clientFor(owners[i]).RegisterMesh(ctx, structure)
+			if err == nil {
+				if got != id {
+					return "", fmt.Errorf("client: replica %s returned mesh id %s, want %s", owners[i], got, id)
+				}
+				accepted++
+				continue
+			}
+			lastErr = err
+			if misdirectedErr(err) && !refreshed {
+				refreshed = true
+				if newRing, rerr := cc.refreshRing(ctx); rerr == nil {
+					ring = newRing
+					owners = ring.Owners(id)
+					accepted = 0
+					i = -1
+					continue
+				}
+			}
+			if ra := retryAfterOf(err); ra != "" {
+				retryAfter = ra
+			}
+			cc.failovers.Add(1)
+		}
+		if accepted > 0 {
+			return id, nil
+		}
+		if round >= cc.template.maxRetries {
+			return "", fmt.Errorf("client: no owner accepted registration after %d rounds: %w", round+1, lastErr)
+		}
+		if err := cc.template.sleep(ctx, round+1, retryAfter, lastErr); err != nil {
+			return "", err
+		}
+	}
+}
+
+// Register is RegisterMesh for a live mesh.
+func (cc *ClusterClient) Register(ctx context.Context, m *zmesh.Mesh) (string, error) {
+	return cc.RegisterMesh(ctx, m.Structure())
+}
+
+// Compress routes a compress request to an owner of meshID.
+func (cc *ClusterClient) Compress(ctx context.Context, meshID, fieldName string, values []float64, opt zmesh.Options, bound zmesh.Bound) (*zmesh.Compressed, error) {
+	var out *zmesh.Compressed
+	err := cc.route(ctx, meshID, func(ctx context.Context, cl *Client) error {
+		c, err := cl.Compress(ctx, meshID, fieldName, values, opt, bound)
+		if err == nil {
+			out = c
+		}
+		return err
+	})
+	return out, err
+}
+
+// CompressField is Compress for a live field.
+func (cc *ClusterClient) CompressField(ctx context.Context, meshID string, f *zmesh.Field, opt zmesh.Options, bound zmesh.Bound) (*zmesh.Compressed, error) {
+	return cc.Compress(ctx, meshID, f.Name, zmesh.FieldValues(f), opt, bound)
+}
+
+// Decompress routes a decompress request to an owner of meshID.
+func (cc *ClusterClient) Decompress(ctx context.Context, meshID string, comp *zmesh.Compressed) ([]float64, error) {
+	var out []float64
+	err := cc.route(ctx, meshID, func(ctx context.Context, cl *Client) error {
+		v, err := cl.Decompress(ctx, meshID, comp)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// CompressBatch routes a batch compression to an owner of meshID.
+func (cc *ClusterClient) CompressBatch(ctx context.Context, meshID string, fields []BatchField, opt zmesh.Options, bound zmesh.Bound) ([]*zmesh.Compressed, error) {
+	var out []*zmesh.Compressed
+	err := cc.route(ctx, meshID, func(ctx context.Context, cl *Client) error {
+		cs, err := cl.CompressBatch(ctx, meshID, fields, opt, bound)
+		if err == nil {
+			out = cs
+		}
+		return err
+	})
+	return out, err
+}
+
+// CompressCheckpoint routes a whole-checkpoint compression to an owner of
+// meshID.
+func (cc *ClusterClient) CompressCheckpoint(ctx context.Context, meshID string, ck *zmesh.Checkpoint, opt zmesh.Options, bound zmesh.Bound) ([]*zmesh.Compressed, error) {
+	var out []*zmesh.Compressed
+	err := cc.route(ctx, meshID, func(ctx context.Context, cl *Client) error {
+		cs, err := cl.CompressCheckpoint(ctx, meshID, ck, opt, bound)
+		if err == nil {
+			out = cs
+		}
+		return err
+	})
+	return out, err
+}
+
+// decodeJSON decodes a bounded JSON body (ring responses are tiny; the cap
+// guards against a confused endpoint streaming forever).
+func decodeJSON(r io.Reader, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,330 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// clusterMesh builds the small deterministic mesh + field the cluster
+// tests route around.
+func clusterMesh(t testing.TB) (*zmesh.Mesh, *zmesh.Field) {
+	t.Helper()
+	m, err := zmesh.NewMesh(2, 8, [3]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	f := zmesh.SampleField(m, "dens", func(x, y, z float64) float64 {
+		return math.Sin(4*x) * math.Cos(3*y)
+	})
+	return m, f
+}
+
+// bootCluster starts n real replicas sharing one ring and returns their
+// servers, URLs, and a kill function that closes replica i's listener and
+// shuts its server down (connect-refused thereafter).
+func bootCluster(t testing.TB, n, repl int) ([]*server.Server, []string, func(i int)) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	ring, err := cluster.New(urls, 32, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*server.Server, n)
+	for i := range servers {
+		s := server.New(server.Config{Ring: ring, Self: urls[i], PeerTimeout: time.Second})
+		servers[i] = s
+		ln := lns[i]
+		go func() { _ = s.Serve(ln) }()
+	}
+	kill := func(i int) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = servers[i].Shutdown(ctx)
+	}
+	t.Cleanup(func() {
+		for i := range servers {
+			kill(i)
+		}
+	})
+	return servers, urls, kill
+}
+
+// connRefusedErr dials a freshly-released port to manufacture a real
+// connect-refused error.
+func connRefusedErr(t *testing.T) error {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, err = (&net.Dialer{Timeout: time.Second}).Dial("tcp", addr)
+	if err == nil {
+		t.Fatal("dial to closed port unexpectedly succeeded")
+	}
+	return err
+}
+
+func TestIsConnectError(t *testing.T) {
+	if !IsConnectError(connRefusedErr(t)) {
+		t.Fatal("refused dial not classified as connect error")
+	}
+	if IsConnectError(&StatusError{Code: 503}) {
+		t.Fatal("503 classified as connect error")
+	}
+	if IsConnectError(nil) {
+		t.Fatal("nil classified as connect error")
+	}
+	if IsConnectError(errors.New("some read error")) {
+		t.Fatal("generic error classified as connect error")
+	}
+}
+
+// TestRetryDelayConnectErrorIsFlat pins the satellite fix at the unit
+// level: a connect error gets the flat jittered base delay no matter how
+// deep into the attempt schedule the loop is, while status-driven retries
+// keep the exponential window.
+func TestRetryDelayConnectErrorIsFlat(t *testing.T) {
+	c := testClient(WithBackoff(100*time.Millisecond, 10*time.Second))
+	connErr := connRefusedErr(t)
+	for attempt := 1; attempt <= 6; attempt++ {
+		if d := c.retryDelay(attempt, "", connErr); d > 100*time.Millisecond {
+			t.Fatalf("attempt %d connect-error delay %v exceeds flat base 100ms", attempt, d)
+		}
+	}
+	if d := c.retryDelay(6, "", &StatusError{Code: 500}); d <= 100*time.Millisecond {
+		t.Fatalf("attempt 6 status-error delay %v did not grow exponentially", d)
+	}
+}
+
+// TestConnectRefusedDoesNotBurnBackoffWindow is the regression test with a
+// killed listener: six retries against a dead socket must complete in flat
+// time (≤ ~6 × base), not the exponential window (~6s of sleeps with this
+// config) the old loop burned.
+func TestConnectRefusedDoesNotBurnBackoffWindow(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close() // killed listener: every dial now refuses
+
+	c := New(deadURL, WithBackoff(200*time.Millisecond, 10*time.Second), WithMaxRetries(6))
+	start := time.Now()
+	_, err = c.RegisterMesh(context.Background(), []byte("structure"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("register against killed listener succeeded")
+	}
+	if !IsConnectError(err) {
+		t.Fatalf("error %v does not unwrap to a connect error", err)
+	}
+	// Flat schedule: 6 sleeps in [100ms, 200ms] -> at most 1.2s plus dial
+	// overhead. The old exponential schedule sleeps at least ~3s (half of
+	// 200·(1+2+4+8+16+32) ms). 2.5s splits the two decisively.
+	if elapsed > 2500*time.Millisecond {
+		t.Fatalf("6 connect-refused retries took %v — backoff window burned on a dead socket", elapsed)
+	}
+}
+
+// TestClusterFailoverOnKilledReplica pins the router half of the fix: with
+// the primary owner dead, the request lands on the next replica in
+// placement order and still round-trips bit-exactly.
+func TestClusterFailoverOnKilledReplica(t *testing.T) {
+	m, f := clusterMesh(t)
+	_, urls, kill := bootCluster(t, 3, 2)
+	cc, err := NewCluster(urls, WithBackoff(10*time.Millisecond, 100*time.Millisecond), WithMaxRetries(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	id, err := cc.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cc.Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := ring.Primary(id)
+	for i, u := range urls {
+		if u == primary {
+			kill(i)
+		}
+	}
+
+	comp, err := cc.CompressField(ctx, id, f, zmesh.Options{Layout: zmesh.LayoutZMesh}, zmesh.AbsBound(1e-3))
+	if err != nil {
+		t.Fatalf("compress with dead primary: %v", err)
+	}
+	values, err := cc.Decompress(ctx, id, comp)
+	if err != nil {
+		t.Fatalf("decompress with dead primary: %v", err)
+	}
+	dec, err := zmesh.NewDecoder(m).DecompressField(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := zmesh.FieldValues(dec)
+	if len(values) != len(want) {
+		t.Fatalf("got %d values, want %d", len(values), len(want))
+	}
+	for i := range values {
+		if values[i] != want[i] {
+			t.Fatalf("value %d differs: %g vs %g", i, values[i], want[i])
+		}
+	}
+	st := cc.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("no failovers recorded despite a dead primary")
+	}
+	if st.MaxAttemptsPerOp > int64(2*len(urls)) {
+		t.Fatalf("an operation took %d attempts — retries not bounded by the owner sweep", st.MaxAttemptsPerOp)
+	}
+}
+
+// TestClusterRefreshesRingOn421 pins the stale-ring handshake: a client
+// whose ring routes to a non-owner gets a 421, re-fetches /v1/ring, and
+// completes against the true owner without surfacing an error.
+func TestClusterRefreshesRingOn421(t *testing.T) {
+	m, f := clusterMesh(t)
+	_, urls, _ := bootCluster(t, 3, 1)
+	cc, err := NewCluster(urls, WithBackoff(10*time.Millisecond, 100*time.Millisecond), WithMaxRetries(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	id, err := cc.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the client's ring with a single-node view pointing at a
+	// non-owner — the picture a client holds after the cluster was
+	// reconfigured underneath it.
+	trueRing, err := cluster.New(urls, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := trueRing.Primary(id)
+	var nonOwner string
+	for _, u := range urls {
+		if u != owner {
+			nonOwner = u
+			break
+		}
+	}
+	stale, err := cluster.New([]string{nonOwner}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.setRing(stale)
+	before := cc.Stats().RingRefreshes
+
+	comp, err := cc.CompressField(ctx, id, f, zmesh.Options{Layout: zmesh.LayoutZMesh}, zmesh.AbsBound(1e-3))
+	if err != nil {
+		t.Fatalf("compress with stale ring: %v", err)
+	}
+	if comp == nil || len(comp.Payload) == 0 {
+		t.Fatal("empty artifact after ring refresh")
+	}
+	if cc.Stats().RingRefreshes <= before {
+		t.Fatal("421 did not trigger a ring refresh")
+	}
+}
+
+// TestClusterRegisterSeedsAllOwners pins the registration fan-out: after
+// RegisterMesh, every owner serves the structure directly and non-owners
+// do not hold it.
+func TestClusterRegisterSeedsAllOwners(t *testing.T) {
+	m, _ := clusterMesh(t)
+	_, urls, _ := bootCluster(t, 3, 2)
+	cc, err := NewCluster(urls, WithBackoff(10*time.Millisecond, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	id, err := cc.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cluster.MeshID(m.Structure()); id != want {
+		t.Fatalf("mesh id %s, want locally computed %s", id, want)
+	}
+	ring, err := cc.Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range urls {
+		resp, err := http.Get(u + wire.StructurePath(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ring.IsOwner(u, id) {
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("owner %s does not hold the structure (status %d)", u, resp.StatusCode)
+			}
+		} else if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("non-owner %s holds the structure (status %d)", u, resp.StatusCode)
+		}
+	}
+}
+
+// TestClusterSingleNodeFallback pins plain-daemon compatibility: pointed
+// at a zmeshd with no ring (404 on /v1/ring), the ClusterClient degrades
+// to a single-shard ring over its seeds and works end to end.
+func TestClusterSingleNodeFallback(t *testing.T) {
+	m, f := clusterMesh(t)
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cc, err := NewCluster([]string{ts.URL}, WithBackoff(10*time.Millisecond, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	id, err := cc.Register(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cc.CompressField(ctx, id, f, zmesh.Options{Layout: zmesh.LayoutZMesh}, zmesh.AbsBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Decompress(ctx, id, comp); err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cc.Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.NumNodes() != 1 || ring.Replication() != 1 {
+		t.Fatalf("fallback ring has %d nodes, replication %d; want 1/1", ring.NumNodes(), ring.Replication())
+	}
+}

@@ -45,7 +45,7 @@ func statusError(resp *http.Response) *StatusError {
 	if json.Unmarshal(body, &je) == nil && je.Error != "" {
 		msg = je.Error
 	}
-	return &StatusError{Code: resp.StatusCode, Msg: msg}
+	return &StatusError{Code: resp.StatusCode, Msg: msg, RetryAfter: resp.Header.Get("Retry-After")}
 }
 
 // compressQuery renders the shared compress-side query string.
@@ -121,7 +121,7 @@ func (c *Client) CompressStream(ctx context.Context, meshID, fieldName string, v
 		if attempt >= c.maxRetries {
 			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
-		if err := c.sleep(ctx, attempt+1, retryAfter); err != nil {
+		if err := c.sleep(ctx, attempt+1, retryAfter, lastErr); err != nil {
 			return nil, err
 		}
 	}
@@ -185,9 +185,9 @@ func readChunkedAll(r io.Reader) ([]byte, error) {
 	}
 }
 
-// sleep waits out one backoff delay (see backoffDelay), bounded by ctx.
-func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string) error {
-	t := time.NewTimer(c.backoffDelay(attempt, retryAfter))
+// sleep waits out one retry delay (see retryDelay), bounded by ctx.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string, lastErr error) error {
+	t := time.NewTimer(c.retryDelay(attempt, retryAfter, lastErr))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -261,7 +261,7 @@ func (c *Client) DecompressStream(ctx context.Context, meshID string, comp *zmes
 		if attempt >= c.maxRetries {
 			return 0, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
-		if err := c.sleep(ctx, attempt+1, retryAfter); err != nil {
+		if err := c.sleep(ctx, attempt+1, retryAfter, lastErr); err != nil {
 			return 0, err
 		}
 	}

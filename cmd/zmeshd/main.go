@@ -13,10 +13,19 @@
 // Telemetry (server.*, encode.*, decode.*, recipe.*) is served on
 // /debug/vars under the "zmeshd" key.
 //
+// Cluster mode: given -cluster-nodes (the full membership as advertised
+// URLs) and -cluster-self (this replica's entry in that list), the daemon
+// becomes one shard of a consistent-hash cluster — it owns the meshes the
+// ring places on it, answers 421 for the rest, and heals an empty cache by
+// fetching structure bytes from peer owners (internal/cluster, DESIGN.md
+// "Cluster architecture").
+//
 // Usage:
 //
 //	zmeshd [-addr :8080] [-max-inflight N] [-max-meshes N] [-max-encoders N]
 //	       [-retry-after 1s] [-max-body 1073741824] [-drain-timeout 30s]
+//	       [-cluster-nodes url1,url2,... -cluster-self urlN]
+//	       [-replication 2] [-vnodes 64] [-peer-timeout 5s]
 package main
 
 import (
@@ -27,10 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	zmesh "repro"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -43,19 +54,57 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		maxBody      = flag.Int64("max-body", 1<<30, "request body cap in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+		clusterNodes = flag.String("cluster-nodes", "", "comma-separated advertised URLs of every cluster replica (empty = single-node)")
+		clusterSelf  = flag.String("cluster-self", "", "this replica's advertised URL; must appear in -cluster-nodes")
+		replication  = flag.Int("replication", 0, "owners per mesh in cluster mode (0 = default 2)")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 64)")
+		peerTimeout  = flag.Duration("peer-timeout", 0, "per-peer structure fetch timeout (0 = default 5s)")
 	)
 	flag.Parse()
-	if err := run(*addr, server.Config{
+	cfg := server.Config{
 		MaxMeshes:    *maxMeshes,
 		MaxEncoders:  *maxEncoders,
 		MaxInflight:  *maxInflight,
 		RetryAfter:   *retryAfter,
 		MaxBodyBytes: *maxBody,
 		Registry:     zmesh.NewRegistry(),
-	}, *drainTimeout); err != nil {
+	}
+	if err := applyClusterFlags(&cfg, *clusterNodes, *clusterSelf, *vnodes, *replication, *peerTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "zmeshd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "zmeshd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// applyClusterFlags validates the cluster flag set and installs the ring
+// into cfg. Both -cluster-nodes and -cluster-self must be given together.
+func applyClusterFlags(cfg *server.Config, nodesCSV, self string, vnodes, replication int, peerTimeout time.Duration) error {
+	if nodesCSV == "" && self == "" {
+		return nil // single-node daemon
+	}
+	if nodesCSV == "" || self == "" {
+		return fmt.Errorf("cluster mode needs both -cluster-nodes and -cluster-self")
+	}
+	var nodes []string
+	for _, n := range strings.Split(nodesCSV, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	ring, err := cluster.New(nodes, vnodes, replication)
+	if err != nil {
+		return fmt.Errorf("-cluster-nodes: %w", err)
+	}
+	if !ring.Contains(self) {
+		return fmt.Errorf("-cluster-self %q is not in -cluster-nodes %q", self, nodesCSV)
+	}
+	cfg.Ring = ring
+	cfg.Self = self
+	cfg.PeerTimeout = peerTimeout
+	return nil
 }
 
 func run(addr string, cfg server.Config, drainTimeout time.Duration) error {

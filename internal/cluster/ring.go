@@ -1,0 +1,230 @@
+// Package cluster implements the consistent-hash placement shared by every
+// zmeshd replica and by the routing client. The registry is already
+// content-addressed — a mesh id is the SHA-256 of its structure bytes — so
+// any replica can rebuild a recipe from the structure alone; what the ring
+// adds is an agreement on *which* replicas hold which meshes, so encoder
+// caches shard across the cluster instead of every node caching everything.
+//
+// Placement is a classic consistent-hash ring with virtual nodes: each node
+// contributes VNodes points on a 64-bit circle, a mesh id hashes to one
+// point, and its R owners are the first R distinct nodes found walking
+// clockwise from there. All hashing is SHA-256-derived, so placement is a
+// pure deterministic function of (nodes, vnodes, replication, id): every
+// replica and every client computes the same owner list with no
+// coordination. Adding or removing one node moves only the arcs adjacent to
+// its points — about K/N of K ids for N nodes — which is what makes
+// rebalancing survivable; ring_test.go pins both the movement bound and a
+// golden placement so any change here is deliberate.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Defaults applied by New when the corresponding argument is zero.
+const (
+	// DefaultVNodes is the virtual-node count per physical node. More
+	// vnodes smooth the load distribution (stddev ~ 1/sqrt(vnodes)) at the
+	// cost of a larger point table; 64 keeps per-node load within a few
+	// percent for small clusters.
+	DefaultVNodes = 64
+	// DefaultReplication is the number of replicas that hold each mesh's
+	// structure bytes (and therefore can serve it without a peer fetch).
+	DefaultReplication = 2
+)
+
+// Ring is an immutable consistent-hash ring. Construct with New; derive
+// changed memberships with WithNodes. Immutability is what makes it safe to
+// share between request goroutines and to swap atomically on refresh.
+type Ring struct {
+	nodes       []string // sorted, unique
+	vnodes      int
+	replication int
+	points      []point // sorted by hash; len = len(nodes) * vnodes
+}
+
+// point is one virtual node on the circle.
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// New builds a ring over the given node addresses (base URLs, used verbatim
+// as identities — "http://a:1" and "http://a:1/" are different nodes).
+// vnodes and replication fall back to the defaults when <= 0; replication
+// is clamped to the node count. Node order does not matter: the ring sorts
+// internally so any permutation of the same membership hashes identically.
+func New(nodes []string, vnodes, replication int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	if replication > len(nodes) {
+		replication = len(nodes)
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node address")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:       sorted,
+		vnodes:      vnodes,
+		replication: replication,
+		points:      make([]point, 0, len(sorted)*vnodes),
+	}
+	for ni, node := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(node, v), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by node index so placement
+		// stays a pure function of membership.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// WithNodes derives a ring with the same vnodes/replication configuration
+// over a different membership.
+func (r *Ring) WithNodes(nodes []string) (*Ring, error) {
+	return New(nodes, r.vnodes, r.replication)
+}
+
+// pointHash places virtual node v of a node on the circle: the first 8
+// bytes (big-endian) of SHA-256("node\x00vnode"). SHA-256 rather than a
+// seeded fast hash so every language/runtime that ever reimplements this
+// agrees byte-for-byte.
+func pointHash(node string, v int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(v)))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// keyHash places a mesh id on the circle. The id is already hex SHA-256 of
+// the structure bytes, but it is hashed again (with a domain-separating
+// prefix) so arbitrary test keys place uniformly too.
+func keyHash(id string) uint64 {
+	h := sha256.New()
+	h.Write([]byte("mesh\x00"))
+	h.Write([]byte(id))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// MeshID is the content address of a structure blob: hex SHA-256. It lives
+// here (rather than only in internal/server) so the routing client can
+// compute placement before any server has seen the bytes.
+func MeshID(structure []byte) string {
+	sum := sha256.Sum256(structure)
+	return hex.EncodeToString(sum[:])
+}
+
+// Nodes returns the ring membership (sorted; a copy).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// NumNodes reports the membership size.
+func (r *Ring) NumNodes() int { return len(r.nodes) }
+
+// VNodes reports the virtual-node count per node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Replication reports the configured replication factor (already clamped to
+// the node count).
+func (r *Ring) Replication() int { return r.replication }
+
+// Contains reports whether node is a ring member.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Owners returns the replicas responsible for a mesh id: the first
+// Replication distinct nodes clockwise from the id's point. The first entry
+// is the primary. The order is deterministic and identical on every ring
+// with the same configuration, so clients and servers agree on both the
+// owner set and the preferred contact order.
+func (r *Ring) Owners(id string) []string {
+	return r.appendOwners(make([]string, 0, r.replication), id)
+}
+
+// appendOwners is Owners into a caller-provided slice (hot-path variant for
+// the routing client's per-request owner walk).
+func (r *Ring) appendOwners(dst []string, id string) []string {
+	want := r.replication
+	kh := keyHash(id)
+	// First point with hash >= kh, wrapping to 0.
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	var seen [8]int32 // replication is small; linear scan beats a map
+	var seenSlice []int32
+	if want <= len(seen) {
+		seenSlice = seen[:0]
+	} else {
+		seenSlice = make([]int32, 0, want)
+	}
+	for i := 0; i < len(r.points) && len(seenSlice) < want; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		dup := false
+		for _, s := range seenSlice {
+			if s == p.node {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seenSlice = append(seenSlice, p.node)
+		dst = append(dst, r.nodes[p.node])
+	}
+	return dst
+}
+
+// Primary returns the first owner of a mesh id.
+func (r *Ring) Primary(id string) string {
+	kh := keyHash(id)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	return r.nodes[r.points[start%len(r.points)].node]
+}
+
+// IsOwner reports whether node is among the owners of a mesh id.
+func (r *Ring) IsOwner(node, id string) bool {
+	if !r.Contains(node) {
+		return false
+	}
+	var buf [8]string
+	var owners []string
+	if r.replication <= len(buf) {
+		owners = r.appendOwners(buf[:0], id)
+	} else {
+		owners = r.Owners(id)
+	}
+	for _, o := range owners {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []string, vnodes, repl int) *Ring {
+	t.Helper()
+	r, err := New(nodes, vnodes, repl)
+	if err != nil {
+		t.Fatalf("New(%v, %d, %d): %v", nodes, vnodes, repl, err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 0, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0, 0); err == nil {
+		t.Fatal("empty node address accepted")
+	}
+	// Defaults and clamping.
+	r := mustRing(t, []string{"a"}, 0, 0)
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	if r.Replication() != 1 {
+		t.Fatalf("replication = %d, want clamp to 1 node", r.Replication())
+	}
+}
+
+// TestDeterministicAcrossOrder pins that placement is a pure function of
+// membership: any permutation of the node list yields identical owners.
+func TestDeterministicAcrossOrder(t *testing.T) {
+	a := mustRing(t, []string{"n1", "n2", "n3", "n4"}, 32, 2)
+	b := mustRing(t, []string{"n4", "n2", "n1", "n3"}, 32, 2)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("id-%d", i)
+		if got, want := b.Owners(id), a.Owners(id); !reflect.DeepEqual(got, want) {
+			t.Fatalf("id %s: owners differ across node order: %v vs %v", id, got, want)
+		}
+	}
+}
+
+// TestOwnersShape pins the structural contract: R distinct live nodes, the
+// primary first, IsOwner consistent with Owners.
+func TestOwnersShape(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := mustRing(t, nodes, 64, 3)
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(id)
+		if len(owners) != 3 {
+			t.Fatalf("id %s: %d owners, want 3", id, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("id %s: duplicate owner %s in %v", id, o, owners)
+			}
+			seen[o] = true
+			if !r.IsOwner(o, id) {
+				t.Fatalf("id %s: Owners lists %s but IsOwner denies it", id, o)
+			}
+		}
+		if owners[0] != r.Primary(id) {
+			t.Fatalf("id %s: Primary %s != Owners[0] %s", id, r.Primary(id), owners[0])
+		}
+		for _, n := range nodes {
+			if !seen[n] && r.IsOwner(n, id) {
+				t.Fatalf("id %s: IsOwner(%s) true but not in Owners %v", id, n, owners)
+			}
+		}
+	}
+	if r.IsOwner("not-a-member", "key-1") {
+		t.Fatal("IsOwner accepted a non-member")
+	}
+}
+
+// TestDistribution sanity-checks vnode smoothing: with 128 vnodes no node's
+// primary share strays past 2x the fair share.
+func TestDistribution(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := mustRing(t, nodes, 128, 1)
+	const K = 4000
+	counts := map[string]int{}
+	for i := 0; i < K; i++ {
+		counts[r.Primary(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := K / len(nodes)
+	for n, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s holds %d/%d primaries, outside [%d, %d]", n, c, K, fair/2, fair*2)
+		}
+	}
+}
+
+// ownerKey canonicalizes an owner set (order-insensitive) for comparison.
+func ownerKey(owners []string) string {
+	s := append([]string(nil), owners...)
+	sort.Strings(s)
+	return fmt.Sprint(s)
+}
+
+// TestAddNodeMovesBoundedKeys is the rebalancing property the ring exists
+// for: growing an N-node ring to N+1 moves at most about K/(N+1) primaries
+// (plus vnode-variance slack), and an id's owner set changes only when the
+// new node joined it — consistent hashing's minimal-disruption contract.
+func TestAddNodeMovesBoundedKeys(t *testing.T) {
+	const (
+		N      = 5
+		K      = 3000
+		vnodes = 128
+		R      = 2
+	)
+	rng := rand.New(rand.NewSource(7))
+	nodes := make([]string, N)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	before := mustRing(t, nodes, vnodes, R)
+	after := mustRing(t, append(append([]string(nil), nodes...), "http://replica-new:8080"), vnodes, R)
+
+	ids := make([]string, K)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("mesh-%d-%d", i, rng.Int63())
+	}
+	movedPrimary, changedOwners := 0, 0
+	for _, id := range ids {
+		if before.Primary(id) != after.Primary(id) {
+			movedPrimary++
+			// A primary only ever moves *to* the new node; existing arcs
+			// between surviving points are untouched.
+			if after.Primary(id) != "http://replica-new:8080" {
+				t.Fatalf("id %s: primary moved %s -> %s, not to the added node",
+					id, before.Primary(id), after.Primary(id))
+			}
+		}
+		ob, oa := before.Owners(id), after.Owners(id)
+		if ownerKey(ob) != ownerKey(oa) {
+			changedOwners++
+			joined := false
+			for _, o := range oa {
+				if o == "http://replica-new:8080" {
+					joined = true
+				}
+			}
+			if !joined {
+				t.Fatalf("id %s: owner set changed %v -> %v without the added node joining it", id, ob, oa)
+			}
+		}
+	}
+	// Expected K/(N+1) primaries move; allow 50% slack for vnode variance.
+	if bound := K/(N+1) + K/(N+1)/2; movedPrimary > bound {
+		t.Fatalf("adding 1 of %d nodes moved %d/%d primaries, want <= %d", N+1, movedPrimary, K, bound)
+	}
+	// Owner sets change for ids the new node now owns: expected R*K/(N+1).
+	if bound := R*K/(N+1) + R*K/(N+1)/2; changedOwners > bound {
+		t.Fatalf("adding 1 of %d nodes changed %d/%d owner sets, want <= %d", N+1, changedOwners, K, bound)
+	}
+	t.Logf("add: moved %d/%d primaries (fair %d), changed %d owner sets (fair %d)",
+		movedPrimary, K, K/(N+1), changedOwners, R*K/(N+1))
+}
+
+// TestRemoveNodeMovesOnlyItsKeys pins the removal side exactly: an owner
+// set changes if and only if the removed node was in it, and a primary
+// moves only off the removed node.
+func TestRemoveNodeMovesOnlyItsKeys(t *testing.T) {
+	const (
+		N      = 5
+		K      = 3000
+		vnodes = 128
+		R      = 2
+	)
+	nodes := make([]string, N)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	removed := nodes[2]
+	before := mustRing(t, nodes, vnodes, R)
+	after, err := before.WithNodes(append(append([]string(nil), nodes[:2]...), nodes[3:]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < K; i++ {
+		id := fmt.Sprintf("mesh-%d", i)
+		ob, oa := before.Owners(id), after.Owners(id)
+		had := false
+		for _, o := range ob {
+			if o == removed {
+				had = true
+			}
+		}
+		if had != (ownerKey(ob) != ownerKey(oa)) {
+			t.Fatalf("id %s: removed-node membership %v but owner-set change %v (%v -> %v)",
+				id, had, ownerKey(ob) != ownerKey(oa), ob, oa)
+		}
+		if pb := before.Primary(id); pb != removed && pb != after.Primary(id) {
+			t.Fatalf("id %s: primary moved %s -> %s though %s was not removed",
+				id, pb, after.Primary(id), pb)
+		}
+		if had {
+			moved++
+		}
+	}
+	if bound := R*K/N + R*K/N/2; moved > bound {
+		t.Fatalf("removing 1 of %d nodes disturbed %d/%d ids, want <= %d", N, moved, K, bound)
+	}
+}
+
+// TestGoldenPlacement pins the exact placement of a fixed ring. If this
+// test fails, the hash or walk changed and EVERY deployed ring rebalances:
+// only update the fixture as a deliberate, called-out migration.
+func TestGoldenPlacement(t *testing.T) {
+	r := mustRing(t, []string{"http://node-a:9001", "http://node-b:9002", "http://node-c:9003"}, 16, 2)
+	golden := map[string][2]string{
+		"0c0b861b44ff25d0a8eb9e4f4d7e62a0c1bb07cf9a3f2f2ef65f9ce2f4bb5f30": {"http://node-c:9003", "http://node-b:9002"},
+		"mesh-0": {"http://node-a:9001", "http://node-b:9002"},
+		"mesh-1": {"http://node-c:9003", "http://node-a:9001"},
+		"mesh-2": {"http://node-a:9001", "http://node-b:9002"},
+		"mesh-3": {"http://node-c:9003", "http://node-b:9002"},
+		"mesh-4": {"http://node-c:9003", "http://node-a:9001"},
+		"mesh-5": {"http://node-b:9002", "http://node-a:9001"},
+		"mesh-6": {"http://node-c:9003", "http://node-a:9001"},
+		"mesh-7": {"http://node-c:9003", "http://node-a:9001"},
+	}
+	for id, want := range golden {
+		got := r.Owners(id)
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("id %s: owners %v, golden fixture %v — placement changed, see test comment", id, got, want)
+		}
+	}
+}
+
+func TestMeshID(t *testing.T) {
+	// Pin the content address so server and client (which both route by it)
+	// can never drift: hex SHA-256 of the raw bytes.
+	if got, want := MeshID([]byte("abc")), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"; got != want {
+		t.Fatalf("MeshID(abc) = %s, want %s", got, want)
+	}
+}
+
+func BenchmarkOwners(b *testing.B) {
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	r, err := New(nodes, 128, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := MeshID([]byte("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf [8]string
+		_ = r.appendOwners(buf[:0], id)
+	}
+}

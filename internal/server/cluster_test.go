@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// bootClusterServers starts n real replicas (each with its own listener,
+// registry and caches) sharing one consistent-hash ring, mirroring how the
+// cluster harness boots daemons. mut lets a test tweak one replica's config
+// before boot.
+func bootClusterServers(t testing.TB, n, repl int, mut func(i int, cfg *Config)) ([]*Server, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	ring, err := cluster.New(urls, 32, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*Server, n)
+	for i := range servers {
+		cfg := Config{Ring: ring, Self: urls[i], PeerTimeout: 2 * time.Second}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		s := New(cfg)
+		servers[i] = s
+		ln := lns[i]
+		go func() { _ = s.Serve(ln) }()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		})
+	}
+	return servers, urls
+}
+
+// rawRegister posts structure bytes directly to one replica (no routing).
+func rawRegister(t testing.TB, base string, structure []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+wire.PathMeshes, wire.ContentTypeBinary, bytes.NewReader(structure))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// rawCompress posts a field's values directly to one replica with the
+// default pipeline and drains the response body.
+func rawCompress(t testing.TB, base, id string, values []float64) (int, []byte) {
+	t.Helper()
+	body := wire.AppendFloats(nil, values)
+	u := base + wire.CompressPath(id) + "?" + wire.ParamBound + "=abs:1e-3"
+	resp, err := http.Post(u, wire.ContentTypeBinary, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, payload
+}
+
+func counterOf(s *Server, name string) int64 {
+	return s.Registry().Snapshot().Counters[name]
+}
+
+// TestPeerFetchHealsEmptyReplica pins the recovery path the cluster exists
+// for: a replica that has never seen a mesh (registered only on its peer)
+// serves a compress request by pulling the structure from the peer,
+// verifying the content address, and rebuilding the recipe locally — and
+// the artifact is byte-identical to the in-process library's.
+func TestPeerFetchHealsEmptyReplica(t *testing.T) {
+	m, f := testMesh(t)
+	servers, urls := bootClusterServers(t, 2, 2, nil) // R = N: both replicas own everything
+
+	structure := m.Structure()
+	id := cluster.MeshID(structure)
+	resp := rawRegister(t, urls[0], structure)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register on replica 0: status %d", resp.StatusCode)
+	}
+
+	// Replica 1 never saw the registration.
+	status, payload := rawCompress(t, urls[1], id, zmesh.FieldValues(f))
+	if status != http.StatusOK {
+		t.Fatalf("compress on empty replica: status %d, body %s", status, payload)
+	}
+	opt := zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"}
+	enc, err := zmesh.NewEncoder(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := enc.CompressField(f, testBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, want.Payload) {
+		t.Fatalf("peer-fetch artifact differs from library artifact (%d vs %d bytes)", len(payload), len(want.Payload))
+	}
+	if got := counterOf(servers[1], "server.peer.fetches"); got != 1 {
+		t.Fatalf("replica 1 peer.fetches = %d, want 1", got)
+	}
+	if got := counterOf(servers[1], "recipe.builds"); got != 1 {
+		t.Fatalf("replica 1 recipe.builds = %d, want 1 (rebuilt locally from fetched structure)", got)
+	}
+	if got := counterOf(servers[0], "server.peer.structure_served"); got != 1 {
+		t.Fatalf("replica 0 structure_served = %d, want 1", got)
+	}
+
+	// A second request is a plain local hit: no more peer traffic.
+	status, _ = rawCompress(t, urls[1], id, zmesh.FieldValues(f))
+	if status != http.StatusOK {
+		t.Fatalf("second compress: status %d", status)
+	}
+	if got := counterOf(servers[1], "server.peer.fetches"); got != 1 {
+		t.Fatalf("replica 1 peer.fetches after local hit = %d, want still 1", got)
+	}
+}
+
+// TestMisdirectedRequests pins the 421 contract: with R=1, exactly one
+// replica owns each mesh; the others answer 421 for both registration and
+// data requests so a routing client knows to refresh its ring.
+func TestMisdirectedRequests(t *testing.T) {
+	m, f := testMesh(t)
+	_, urls := bootClusterServers(t, 3, 1, nil)
+
+	structure := m.Structure()
+	id := cluster.MeshID(structure)
+	ring, err := cluster.New(urls, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ring.Primary(id)
+	var nonOwner string
+	for _, u := range urls {
+		if u != owner {
+			nonOwner = u
+			break
+		}
+	}
+
+	resp := rawRegister(t, nonOwner, structure)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("register on non-owner: status %d, want 421", resp.StatusCode)
+	}
+	resp = rawRegister(t, owner, structure)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register on owner: status %d, want 201", resp.StatusCode)
+	}
+	if status, _ := rawCompress(t, nonOwner, id, zmesh.FieldValues(f)); status != http.StatusMisdirectedRequest {
+		t.Fatalf("compress on non-owner: status %d, want 421", status)
+	}
+	if status, _ := rawCompress(t, owner, id, zmesh.FieldValues(f)); status != http.StatusOK {
+		t.Fatalf("compress on owner: status %d, want 200", status)
+	}
+}
+
+// TestPeerFetchCorruption is the cache-poisoning table: whatever garbage a
+// peer returns — truncation, bit flips, the wrong structure, errors,
+// timeouts — the fetching replica must reject it via the content address,
+// answer a clean 502 (404 only for a clean everywhere-miss), and keep its
+// registry unpoisoned so a later honest peer heals it.
+func TestPeerFetchCorruption(t *testing.T) {
+	m, f := testMesh(t)
+	structure := m.Structure()
+	id := cluster.MeshID(structure)
+	values := zmesh.FieldValues(f)
+
+	otherMesh, _ := testMesh(t)
+	if err := otherMesh.Refine(otherMesh.Roots()[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), structure...)
+	flipped[len(flipped)/2] ^= 0x40
+
+	cases := []struct {
+		name       string
+		peer       http.HandlerFunc
+		wantStatus int
+		wantCount  string // counter expected to move on the fetching replica
+	}{
+		{
+			name: "truncated",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				_, _ = w.Write(structure[:len(structure)-5])
+			},
+			wantStatus: http.StatusBadGateway,
+			wantCount:  "server.peer.corrupt",
+		},
+		{
+			name: "bit_flipped",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				_, _ = w.Write(flipped)
+			},
+			wantStatus: http.StatusBadGateway,
+			wantCount:  "server.peer.corrupt",
+		},
+		{
+			name: "empty_body",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusOK)
+			},
+			wantStatus: http.StatusBadGateway,
+			wantCount:  "server.peer.corrupt",
+		},
+		{
+			name: "wrong_structure",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				_, _ = w.Write(otherMesh.Structure()) // valid bytes, wrong preimage
+			},
+			wantStatus: http.StatusBadGateway,
+			wantCount:  "server.peer.corrupt",
+		},
+		{
+			name: "peer_500",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "boom", http.StatusInternalServerError)
+			},
+			wantStatus: http.StatusBadGateway,
+			wantCount:  "server.peer.errors",
+		},
+		{
+			name: "peer_hangs",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				<-r.Context().Done() // stall until the fetcher's PeerTimeout fires
+			},
+			wantStatus: http.StatusBadGateway,
+			wantCount:  "server.peer.errors",
+		},
+		{
+			name: "peer_miss",
+			peer: func(w http.ResponseWriter, r *http.Request) {
+				http.NotFound(w, r)
+			},
+			wantStatus: http.StatusNotFound,
+			wantCount:  "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var peerHits atomic.Int64
+			peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path != wire.StructurePath(id) {
+					t.Errorf("peer got unexpected path %s", r.URL.Path)
+				}
+				peerHits.Add(1)
+				tc.peer(w, r)
+			}))
+			defer peer.Close()
+
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			self := "http://" + ln.Addr().String()
+			ring, err := cluster.New([]string{peer.URL, self}, 32, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(Config{Ring: ring, Self: self, PeerTimeout: 200 * time.Millisecond})
+			go func() { _ = s.Serve(ln) }()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = s.Shutdown(ctx)
+			}()
+
+			status, body := rawCompress(t, self, id, values)
+			if status != tc.wantStatus {
+				t.Fatalf("compress with %s peer: status %d (body %s), want %d", tc.name, status, body, tc.wantStatus)
+			}
+			if peerHits.Load() == 0 {
+				t.Fatal("peer was never consulted")
+			}
+			if tc.wantCount != "" {
+				if got := counterOf(s, tc.wantCount); got == 0 {
+					t.Fatalf("counter %s = 0, want > 0", tc.wantCount)
+				}
+			}
+			// The poison check: nothing may have been registered under id.
+			if _, ok := s.store.lookup(id); ok {
+				t.Fatalf("%s peer response was cached — content-addressed registry poisoned", tc.name)
+			}
+			if got := counterOf(s, "server.mesh.registered"); got != 0 {
+				t.Fatalf("mesh.registered = %d after %s peer, want 0", got, tc.name)
+			}
+		})
+	}
+}
+
+// TestPeerFetchRecoversAfterCorruptPeer pins that a corrupt peer does not
+// wedge anything: once an honest peer is reachable, the same id heals.
+func TestPeerFetchRecoversAfterCorruptPeer(t *testing.T) {
+	m, f := testMesh(t)
+	structure := m.Structure()
+	id := cluster.MeshID(structure)
+
+	var corrupt atomic.Bool
+	corrupt.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if corrupt.Load() {
+			_, _ = w.Write(structure[:len(structure)/2])
+			return
+		}
+		_, _ = w.Write(structure)
+	}))
+	defer peer.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://" + ln.Addr().String()
+	ring, err := cluster.New([]string{peer.URL, self}, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Ring: ring, Self: self, PeerTimeout: time.Second})
+	go func() { _ = s.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	if status, _ := rawCompress(t, self, id, zmesh.FieldValues(f)); status != http.StatusBadGateway {
+		t.Fatalf("corrupt phase: status %d, want 502", status)
+	}
+	corrupt.Store(false)
+	if status, _ := rawCompress(t, self, id, zmesh.FieldValues(f)); status != http.StatusOK {
+		t.Fatalf("healed phase: status %d, want 200", status)
+	}
+}
+
+// TestStructureEndpoint pins the peer-fetch primitive itself: the raw
+// registered bytes come back verbatim, unknown ids 404.
+func TestStructureEndpoint(t *testing.T) {
+	m, _ := testMesh(t)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	base := ts.URL
+
+	resp := rawRegister(t, base, m.Structure())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+	id := cluster.MeshID(m.Structure())
+	resp, err := http.Get(base + wire.StructurePath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("structure fetch: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, m.Structure()) {
+		t.Fatalf("structure bytes differ: got %d bytes, want %d", len(got), len(m.Structure()))
+	}
+	if cluster.MeshID(got) != id {
+		t.Fatal("served structure does not hash to its own id")
+	}
+	resp, err = http.Get(base + wire.StructurePath("deadbeef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown structure fetch: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRingEndpoint pins the topology handshake: cluster replicas serve
+// their full placement config, single-node daemons 404.
+func TestRingEndpoint(t *testing.T) {
+	_, urls := bootClusterServers(t, 3, 2, nil)
+	resp, err := http.Get(urls[1] + wire.PathRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr wire.RingResponse
+	err = json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ring fetch: status %d", resp.StatusCode)
+	}
+	if len(rr.Nodes) != 3 || rr.Replication != 2 || rr.VNodes != 32 || rr.Self != urls[1] {
+		t.Fatalf("ring response %+v does not match boot config", rr)
+	}
+
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err = http.Get(ts.URL + wire.PathRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-node ring fetch: status %d, want 404", resp.StatusCode)
+	}
+}

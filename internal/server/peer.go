@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	zmesh "repro"
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Cluster mode. A zmeshd replica configured with a ring (Config.Ring +
+// Config.Self) becomes one shard of a horizontal cluster:
+//
+//   - GET /v1/ring serves the placement config so routing clients compute
+//     the same owner lists the replicas do.
+//   - GET /v1/meshes/{id}/structure serves the raw structure bytes of a
+//     registered mesh — the peer-fetch primitive. Structure bytes are the
+//     preimage of the mesh id, so the fetching side can (and must) verify
+//     the SHA-256 before trusting them.
+//   - A compress/decompress request for a mesh this replica has never seen
+//     no longer 404s outright: if this replica owns the id, it pulls the
+//     structure from a peer owner, verifies the hash, registers it locally
+//     and rebuilds the recipe — so a replica that restarted empty heals
+//     itself from its peers instead of erroring until every client
+//     re-registers. If this replica does NOT own the id, it answers 421
+//     Misdirected Request, telling the routing client its ring is stale.
+//
+// Corruption never propagates: a peer response whose SHA-256 does not match
+// the requested id (truncation, bit flips, a different structure) is
+// discarded and the request fails 502 Bad Gateway — the mesh registry stays
+// content-addressed even across replica boundaries. See DESIGN.md "Cluster
+// architecture".
+
+// peerMetrics counts the cluster-mode traffic of one replica.
+type peerMetrics struct {
+	fetches     *telemetry.Counter // structures successfully pulled from a peer
+	errors      *telemetry.Counter // peer fetch attempts that failed (per peer)
+	corrupt     *telemetry.Counter // peer responses rejected by hash/decode
+	misdirected *telemetry.Counter // 421s served to misrouted clients
+	served      *telemetry.Counter // structure bytes served to peers/clients
+}
+
+func newPeerMetrics(r *zmesh.Registry) *peerMetrics {
+	return &peerMetrics{
+		fetches:     r.Counter("server.peer.fetches"),
+		errors:      r.Counter("server.peer.errors"),
+		corrupt:     r.Counter("server.peer.corrupt"),
+		misdirected: r.Counter("server.peer.misdirected"),
+		served:      r.Counter("server.peer.structure_served"),
+	}
+}
+
+// misdirected is the 421 a replica answers when asked about a mesh id it
+// does not own (and has not cached): the routing client reacts by
+// re-fetching /v1/ring and re-routing rather than retrying here.
+func misdirected(id string) error {
+	return &httpError{
+		status: http.StatusMisdirectedRequest,
+		err:    fmt.Errorf("mesh %s is not owned by this replica (stale ring? refresh %s)", id, wire.PathRing),
+	}
+}
+
+// badGateway wraps peer-fetch failures: retryable by clients (the next
+// owner may have the structure) but distinct from this replica's own 5xx.
+func badGateway(err error) error {
+	return &httpError{status: http.StatusBadGateway, err: err}
+}
+
+// resolveMesh is the cluster-aware mesh lookup every data endpoint goes
+// through. Local hits — including meshes this replica no longer owns after
+// a ring change — are served as before; availability beats strict
+// ownership for data already on hand. On a miss:
+//
+//	single-node:    404 (the PR-4 contract, unchanged)
+//	owner miss:     pull the structure from a peer owner, register, serve
+//	non-owner miss: 421 so the client re-routes
+func (s *Server) resolveMesh(ctx context.Context, id string) (*meshEntry, error) {
+	if e, ok := s.store.lookup(id); ok {
+		return e, nil
+	}
+	if s.cfg.Ring == nil {
+		return nil, notFound("mesh %s not registered", id)
+	}
+	if !s.cfg.Ring.IsOwner(s.cfg.Self, id) {
+		s.mPeer.misdirected.Inc()
+		return nil, misdirected(id)
+	}
+	return s.fetchFromPeers(ctx, id)
+}
+
+// fetchFromPeers tries the other owners of id in placement order, verifying
+// each response against the content address before registering it. The
+// error reflects the worst thing seen: corruption or a failing peer maps to
+// 502 (retryable — another replica may still serve the client), while
+// clean everywhere-404 means the mesh genuinely is not registered anywhere
+// and stays a 404.
+func (s *Server) fetchFromPeers(ctx context.Context, id string) (*meshEntry, error) {
+	var sawCorrupt, sawError bool
+	for _, node := range s.cfg.Ring.Owners(id) {
+		if node == s.cfg.Self {
+			continue
+		}
+		structure, err := s.fetchStructure(ctx, node, id)
+		if err != nil {
+			if errors.Is(err, errPeerMiss) {
+				continue
+			}
+			s.mPeer.errors.Inc()
+			sawError = true
+			continue
+		}
+		if cluster.MeshID(structure) != id {
+			// The peer handed back bytes that are not the preimage of the
+			// id — truncated, bit-flipped, or a different mesh entirely.
+			// Never register them: that would poison a content-addressed
+			// cache for every later client of this replica.
+			s.mPeer.corrupt.Inc()
+			sawCorrupt = true
+			continue
+		}
+		entry, _, err := s.store.register(structure)
+		if err != nil {
+			// Hash-valid but undecodable bytes mean the content address was
+			// minted from a structure this build cannot parse; treat it as
+			// peer corruption, not a client error.
+			s.mPeer.corrupt.Inc()
+			sawCorrupt = true
+			continue
+		}
+		s.mPeer.fetches.Inc()
+		return entry, nil
+	}
+	switch {
+	case sawCorrupt:
+		return nil, badGateway(fmt.Errorf("peer returned corrupt structure for mesh %s", id))
+	case sawError:
+		return nil, badGateway(fmt.Errorf("fetching structure for mesh %s from peers failed", id))
+	default:
+		return nil, notFound("mesh %s not registered on any owner", id)
+	}
+}
+
+// errPeerMiss marks a clean 404 from a peer (it simply has not seen the
+// mesh), distinguishing it from transport failures and bad responses.
+var errPeerMiss = errors.New("peer does not have the mesh")
+
+// fetchStructure GETs one peer's structure endpoint, bounded by the
+// configured peer timeout and the server's own body cap.
+func (s *Server) fetchStructure(ctx context.Context, node, id string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+wire.StructurePath(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, errPeerMiss
+	case resp.StatusCode != http.StatusOK:
+		return nil, fmt.Errorf("peer %s returned %d", node, resp.StatusCode)
+	}
+	// +1 so a peer streaming more than the cap is detected as oversized
+	// rather than silently truncated into a hash mismatch.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		return nil, fmt.Errorf("peer %s structure exceeds body cap", node)
+	}
+	return body, nil
+}
+
+// handleStructure: GET /v1/meshes/{id}/structure — the raw registered
+// structure bytes. Deliberately outside admission control (instrumented's
+// semaphore): peer fetches are how a replica heals after restart, and a
+// 429 storm on the data endpoints must not be able to starve recovery.
+func (s *Server) handleStructure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	entry, ok := s.store.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("mesh %s not registered", id))
+		return
+	}
+	s.mPeer.served.Inc()
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.Header().Set(wire.HeaderNumValues, "0")
+	_, _ = w.Write(entry.structure)
+}
+
+// handleRing: GET /v1/ring — the placement config, or 404 on a single-node
+// daemon (a routing client treats that as "degenerate single-shard ring").
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	ring := s.cfg.Ring
+	if ring == nil {
+		writeError(w, http.StatusNotFound, errors.New("not running in cluster mode"))
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	_ = json.NewEncoder(w).Encode(wire.RingResponse{
+		Nodes:       ring.Nodes(),
+		VNodes:      ring.VNodes(),
+		Replication: ring.Replication(),
+		Self:        s.cfg.Self,
+	})
+}
+
+// defaultPeerTimeout bounds each peer structure fetch when the config does
+// not say otherwise.
+const defaultPeerTimeout = 5 * time.Second

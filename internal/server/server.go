@@ -22,6 +22,7 @@ import (
 	"time"
 
 	zmesh "repro"
+	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/telemetry"
@@ -31,6 +32,14 @@ import (
 // ExpvarName is the expvar key the server's telemetry registry is published
 // under (visible on /debug/vars).
 const ExpvarName = "zmeshd"
+
+// VarsKey is the per-replica expvar key: "zmeshd.<listen-address>". The
+// bare ExpvarName is process-global and always tracks the newest server —
+// fine for a daemon, useless when a test or harness runs N replicas in one
+// process (or scrapes N daemons generically). Serve additionally publishes
+// the registry under this address-scoped key, so every replica's counters
+// stay reachable without collisions; vars_test.go pins the shape.
+func VarsKey(listenAddr string) string { return ExpvarName + "." + listenAddr }
 
 // Config sizes the server. The zero value is usable: every field has a
 // production-sane default applied by New.
@@ -54,6 +63,21 @@ type Config struct {
 	// creates a private registry when nil; pass one to share it with
 	// zmesh.PublishMetrics / expvar.
 	Registry *zmesh.Registry
+
+	// Ring enables cluster mode: the consistent-hash placement this replica
+	// shares with every peer (see internal/cluster and peer.go). nil keeps
+	// the single-node behavior of earlier releases.
+	Ring *cluster.Ring
+	// Self is this replica's advertised base URL. Required with Ring, and
+	// must be a ring member — placement decisions compare it against owner
+	// lists verbatim.
+	Self string
+	// PeerTimeout bounds each peer structure fetch (default 5s). Under it,
+	// a stalled peer turns into a clean 502 instead of a wedged request.
+	PeerTimeout time.Duration
+	// PeerClient overrides the HTTP client used for peer fetches (tests
+	// inject failure modes here). Default: a dedicated http.Client.
+	PeerClient *http.Client
 }
 
 func (c *Config) fillDefaults() {
@@ -74,6 +98,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Registry == nil {
 		c.Registry = zmesh.NewRegistry()
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = defaultPeerTimeout
+	}
+	if c.PeerClient == nil {
+		c.PeerClient = &http.Client{}
 	}
 }
 
@@ -122,11 +152,19 @@ type Server struct {
 	mDecompressStream *endpointMetrics
 	mCheckpoint       *endpointMetrics
 	checkpointFields  *telemetry.Counter
+	mPeer             *peerMetrics
+	peerClient        *http.Client
 }
 
 // New constructs a server from cfg (zero-value fields get defaults).
+// Cluster mode (cfg.Ring != nil) requires cfg.Self to be a ring member;
+// a violation is a deployment bug every request would hit, so it panics
+// here rather than serving 421s forever.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
+	if cfg.Ring != nil && !cfg.Ring.Contains(cfg.Self) {
+		panic(fmt.Sprintf("server: Self %q is not a member of the configured ring %v", cfg.Self, cfg.Ring.Nodes()))
+	}
 	s := &Server{
 		cfg:               cfg,
 		reg:               cfg.Registry,
@@ -139,6 +177,8 @@ func New(cfg Config) *Server {
 		mDecompressStream: newEndpointMetrics(cfg.Registry, "decompress_stream"),
 		mCheckpoint:       newEndpointMetrics(cfg.Registry, "checkpoint"),
 		checkpointFields:  cfg.Registry.Counter("server.checkpoint.fields"),
+		mPeer:             newPeerMetrics(cfg.Registry),
+		peerClient:        cfg.PeerClient,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+wire.PathMeshes, s.instrumented(s.mRegister, s.handleRegister))
@@ -147,6 +187,12 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/compress-stream", s.instrumented(s.mCompressStream, s.handleCompressStream))
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/decompress-stream", s.instrumented(s.mDecompressStream, s.handleDecompressStream))
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/checkpoint", s.instrumented(s.mCheckpoint, s.handleCheckpoint))
+	// Cluster-mode endpoints. Both bypass admission control on purpose:
+	// ring fetches are how clients recover from 421s and structure fetches
+	// are how restarted replicas heal, so neither may be starved by a 429
+	// storm on the data endpoints.
+	mux.HandleFunc("GET "+wire.PathMeshes+"/{id}/structure", s.handleStructure)
+	mux.HandleFunc("GET "+wire.PathRing, s.handleRing)
 	mux.HandleFunc("GET "+wire.PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
@@ -183,6 +229,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	srv := s.srv
 	s.srvMu.Unlock()
+	// Now the bound address is known, namespace this replica's metrics by
+	// it (see VarsKey) so N replicas never collide on one expvar page.
+	telemetry.Publish(VarsKey(ln.Addr().String()), s.reg)
 	return srv.Serve(ln)
 }
 
@@ -363,7 +412,12 @@ func (s *Server) readBody(r *http.Request, buf []byte) ([]byte, error) {
 	}
 }
 
-// handleRegister: POST /v1/meshes, body = Mesh.Structure bytes.
+// handleRegister: POST /v1/meshes, body = Mesh.Structure bytes. In cluster
+// mode a replica only accepts registrations it owns: answering 421 instead
+// of silently caching a misrouted structure keeps stale clients
+// self-correcting (they refresh the ring) and keeps every shard holding
+// only its K/N share — the point of sharding. Re-registering a mesh this
+// replica already holds stays a 200 regardless of current ownership.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) error {
 	structure, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -371,6 +425,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) error {
 	}
 	if len(structure) == 0 {
 		return badRequest(errors.New("empty structure body"))
+	}
+	if s.cfg.Ring != nil {
+		if id := cluster.MeshID(structure); !s.cfg.Ring.IsOwner(s.cfg.Self, id) {
+			if _, ok := s.store.lookup(id); !ok {
+				s.mPeer.misdirected.Inc()
+				return misdirected(id)
+			}
+		}
 	}
 	entry, created, err := s.store.register(structure)
 	if err != nil {
@@ -414,10 +476,9 @@ func pipelineParams(r *http.Request) (zmesh.Options, error) {
 // body = float64-LE level-order values; response = container-enveloped
 // payload with X-Zmesh-* metadata headers.
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
-	id := r.PathValue("id")
-	entry, ok := s.store.lookup(id)
-	if !ok {
-		return notFound("mesh %s not registered", id)
+	entry, err := s.resolveMesh(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
 	}
 	opt, err := pipelineParams(r)
 	if err != nil {
@@ -499,10 +560,9 @@ func compressStream(enc *zmesh.Encoder, fieldName string, nCells int, body []byt
 // body = container-enveloped payload; response = float64-LE level-order
 // values. The codec is taken from the envelope itself.
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error {
-	id := r.PathValue("id")
-	entry, ok := s.store.lookup(id)
-	if !ok {
-		return notFound("mesh %s not registered", id)
+	entry, err := s.resolveMesh(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
 	}
 	opt, err := pipelineParams(r)
 	if err != nil {

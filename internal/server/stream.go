@@ -74,9 +74,9 @@ func putRing(r *chunkRing) {
 // handlers: mesh lookup, pipeline options, codec validation, and the
 // cached encoder (one recipe build per (mesh, layout, curve, codec), ever).
 func (s *Server) streamParams(r *http.Request) (*meshEntry, zmesh.Options, *zmesh.Encoder, error) {
-	entry, ok := s.store.lookup(r.PathValue("id"))
-	if !ok {
-		return nil, zmesh.Options{}, nil, notFound("mesh %s not registered", r.PathValue("id"))
+	entry, err := s.resolveMesh(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return nil, zmesh.Options{}, nil, err
 	}
 	opt, err := pipelineParams(r)
 	if err != nil {
@@ -182,9 +182,9 @@ func compressChunked(enc *zmesh.Encoder, fieldName string, nCells int, body io.R
 // container-enveloped payload, response = chunked stream of float64-LE
 // level-order values.
 func (s *Server) handleDecompressStream(w http.ResponseWriter, r *http.Request) error {
-	entry, ok := s.store.lookup(r.PathValue("id"))
-	if !ok {
-		return notFound("mesh %s not registered", r.PathValue("id"))
+	entry, err := s.resolveMesh(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
 	}
 	opt, err := pipelineParams(r)
 	if err != nil {

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// serveOnEphemeral boots a Server via Serve (the path that publishes the
+// per-address expvar key) and returns its listen address.
+func serveOnEphemeral(t testing.TB, cfg Config) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	go func() { _ = s.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ln.Addr().String()
+}
+
+// TestVarsNamespacedPerAddress pins the /debug/vars key shape several
+// daemons in one process (the cluster harness, in-process cluster tests)
+// rely on: each listener publishes its registry under "zmeshd.<addr>", so
+// per-replica metrics stay distinguishable even though expvar is global.
+func TestVarsNamespacedPerAddress(t *testing.T) {
+	m, _ := testMesh(t)
+	s1, addr1 := serveOnEphemeral(t, Config{})
+	_, addr2 := serveOnEphemeral(t, Config{})
+
+	resp := rawRegister(t, "http://"+addr1, m.Structure())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+
+	// Either listener's /debug/vars page carries every key (expvar is
+	// process-global); what matters is that the keys are distinct and each
+	// maps to its own server's registry.
+	resp, err := http.Get("http://" + addr2 + wire.PathVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+
+	key1, key2 := VarsKey(addr1), VarsKey(addr2)
+	if key1 == key2 {
+		t.Fatalf("both servers share vars key %q", key1)
+	}
+	for _, key := range []string{key1, key2} {
+		if !strings.HasPrefix(key, ExpvarName+".127.0.0.1:") {
+			t.Fatalf("vars key %q does not follow %q + \".\" + listen address", key, ExpvarName)
+		}
+		if _, ok := page[key]; !ok {
+			t.Fatalf("/debug/vars has no key %q (keys: %v)", key, keysOf(page))
+		}
+	}
+
+	var snap1, snap2 telemetry.Snapshot
+	if err := json.Unmarshal(page[key1], &snap1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(page[key2], &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap1.Counters["server.mesh.registered"]; got != 1 {
+		t.Fatalf("server 1 mesh.registered via vars = %d, want 1", got)
+	}
+	if got := snap2.Counters["server.mesh.registered"]; got != 0 {
+		t.Fatalf("server 2 mesh.registered via vars = %d, want 0 (registries leaked across keys)", got)
+	}
+	// The in-process view and the scraped view must agree.
+	if got := s1.Registry().Counter("server.mesh.registered").Load(); got != snap1.Counters["server.mesh.registered"] {
+		t.Fatalf("scraped counter %d != in-process counter %d", snap1.Counters["server.mesh.registered"], got)
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

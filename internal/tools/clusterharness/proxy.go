@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// faultProxy is the fault-injection point of the harness: every replica's
+// advertised URL resolves to one of these, which forwards TCP to the real
+// zmeshd process. Because replicas reach each other through their
+// advertised URLs, peer structure fetches flow through the proxy too — so
+// the harness can drop or delay peer traffic without touching the daemon.
+//
+// Faults are armed atomically:
+//
+//	delay:    every new connection sleeps d before the backend dial
+//	dropNext: the next n connections are closed without forwarding
+//
+// A SIGKILLed backend needs no proxy support: the forward dial fails and
+// the client-side connection closes, which the routing client treats as a
+// transport failure and fails over.
+type faultProxy struct {
+	ln       net.Listener
+	backend  atomic.Pointer[string] // real process address, retargeted on restart
+	delay    atomic.Int64           // ns added before each backend dial
+	dropNext atomic.Int64           // connections left to drop on arrival
+}
+
+func newFaultProxy() (*faultProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &faultProxy{ln: ln}
+	go p.serve()
+	return p, nil
+}
+
+func (p *faultProxy) url() string { return "http://" + p.ln.Addr().String() }
+
+func (p *faultProxy) setBackend(addr string) { p.backend.Store(&addr) }
+
+func (p *faultProxy) setDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+func (p *faultProxy) dropNextConns(n int64) { p.dropNext.Store(n) }
+
+func (p *faultProxy) serve() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.handle(conn)
+	}
+}
+
+func (p *faultProxy) handle(conn net.Conn) {
+	for {
+		n := p.dropNext.Load()
+		if n <= 0 {
+			break
+		}
+		if p.dropNext.CompareAndSwap(n, n-1) {
+			conn.Close()
+			return
+		}
+	}
+	if d := p.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	addr := p.backend.Load()
+	if addr == nil {
+		conn.Close()
+		return
+	}
+	back, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	go pipe(back, conn)
+	pipe(conn, back)
+}
+
+// pipe copies one direction and half-closes the write side when the source
+// is done, so HTTP keep-alive shutdown propagates cleanly.
+func pipe(dst, src net.Conn) {
+	_, _ = io.Copy(dst, src)
+	if tc, ok := dst.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	} else {
+		_ = dst.Close()
+	}
+}
+
+// replica is one zmeshd process plus its fault proxy. The advertised URL
+// (proxy.url()) is stable across restarts; the process binds an ephemeral
+// port each boot and the proxy is retargeted at it.
+type replica struct {
+	idx       int
+	bin       string
+	proxy     *faultProxy
+	extraArgs []string
+
+	cmd      *exec.Cmd
+	procAddr string // real listen address of the current process
+}
+
+// start boots the zmeshd process, waits for its listen announcement, and
+// points the proxy at it. clusterNodes/self are advertised (proxy) URLs.
+func (r *replica) start(clusterNodes []string, replication, vnodes int) error {
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-cluster-nodes", strings.Join(clusterNodes, ","),
+		"-cluster-self", r.proxy.url(),
+		"-replication", fmt.Sprint(replication),
+		"-vnodes", fmt.Sprint(vnodes),
+		"-peer-timeout", "2s",
+		"-retry-after", "100ms",
+		"-drain-timeout", "10s",
+	}
+	args = append(args, r.extraArgs...)
+	cmd := exec.Command(r.bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("replica %d: starting %s: %w", r.idx, r.bin, err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if u, ok := strings.CutPrefix(line, "zmeshd: listening on http://"); ok {
+				addrc <- strings.TrimSpace(u)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		r.cmd = cmd
+		r.procAddr = addr
+		r.proxy.setBackend(addr)
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("replica %d never announced its address", r.idx)
+	}
+	return nil
+}
+
+// sigkill hard-kills the process — the mid-checkpoint crash fault. The
+// proxy keeps accepting; forwards fail until restart.
+func (r *replica) sigkill() error {
+	if err := r.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_, _ = r.cmd.Process.Wait()
+	return nil
+}
+
+// sigterm asks for a graceful drain and waits for a clean exit.
+func (r *replica) sigterm(timeout time.Duration) error {
+	if err := r.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = r.cmd.Process.Kill()
+		return fmt.Errorf("replica %d did not drain within %s", r.idx, timeout)
+	}
+}
+
+// awaitHealthy polls the replica's /healthz through the proxy — the
+// no-sleeps way to sequence phases on real daemon state.
+func (r *replica) awaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	hc := &http.Client{Timeout: time.Second}
+	for time.Now().Before(deadline) {
+		resp, err := hc.Get(r.proxy.url() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("replica %d not healthy within %s", r.idx, timeout)
+}

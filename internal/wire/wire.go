@@ -38,6 +38,11 @@ const (
 	PathVars = "/debug/vars"
 	// PathHealth is the liveness probe.
 	PathHealth = "/healthz"
+	// PathRing is the cluster-topology endpoint: a GET returns the
+	// RingResponse a routing client needs to compute placement (404 on a
+	// single-node daemon). Clients fetch it at startup and re-fetch it
+	// whenever a replica answers 421 Misdirected Request.
+	PathRing = "/v1/ring"
 )
 
 // CompressPath returns the compress endpoint for a registered mesh.
@@ -64,6 +69,13 @@ func DecompressStreamPath(meshID string) string {
 // compresses every field of a snapshot (batch.go framing both ways)
 // against one cached encoder.
 func CheckpointPath(meshID string) string { return PathMeshes + "/" + meshID + "/checkpoint" }
+
+// StructurePath returns the peer structure-fetch endpoint: a GET yields the
+// raw registered structure bytes (the preimage of the mesh id), or 404. A
+// replica that receives traffic for a mesh it has never seen pulls the
+// structure from a peer owner through this endpoint, verifies the SHA-256
+// matches the requested id, and rebuilds the recipe locally.
+func StructurePath(meshID string) string { return PathMeshes + "/" + meshID + "/structure" }
 
 // Metadata headers. Compression responses carry the full artifact metadata
 // so a client can reconstruct a zmesh.Compressed without parsing the
@@ -104,6 +116,22 @@ type RegisterResponse struct {
 // ErrorResponse is the JSON body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// RingResponse is the JSON body of GET /v1/ring: everything a client needs
+// to rebuild the cluster's consistent-hash ring locally. Placement is a
+// pure function of (nodes, vnodes, replication), so a client holding this
+// response routes identically to every replica.
+type RingResponse struct {
+	// Nodes is the full cluster membership as advertised base URLs
+	// (sorted; node identity is the verbatim string).
+	Nodes []string `json:"nodes"`
+	// VNodes is the virtual-node count per node.
+	VNodes int `json:"vnodes"`
+	// Replication is how many owners hold each mesh.
+	Replication int `json:"replication"`
+	// Self is the advertised URL of the replica that answered.
+	Self string `json:"self"`
 }
 
 // FormatBound renders an error bound in the wire grammar: "abs:<v>" or
