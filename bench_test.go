@@ -1,4 +1,4 @@
-package zmesh
+package zmesh_test
 
 // Benchmark harness: one benchmark per evaluation artefact (see the
 // experiment index in DESIGN.md / EXPERIMENTS.md). Each BenchmarkExp* runs
@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	zmesh "repro"
 	"repro/internal/experiments"
 )
 
@@ -193,9 +194,16 @@ func BenchmarkTemporal(b *testing.B) {
 	runExperiment(b, "T15")
 }
 
+// BenchmarkTACComparison reproduces T16: full-artifact ratios of the zMesh
+// 1-D reordering vs the TAC adaptive box layout under both lossy codecs,
+// plus the auto-picker's recorded per-field choice.
+func BenchmarkTACComparison(b *testing.B) {
+	runExperiment(b, "T16")
+}
+
 // --- raw pipeline micro-benchmarks (the numbers behind T8) ---
 
-func pipelineData(b *testing.B) (*Checkpoint, *Field) {
+func pipelineData(b *testing.B) (*zmesh.Checkpoint, *zmesh.Field) {
 	b.Helper()
 	s := benchSuite(b)
 	ck, err := s.Checkpoint("sedov")
@@ -210,11 +218,11 @@ func pipelineData(b *testing.B) (*Checkpoint, *Field) {
 }
 
 // toPublicCheckpoint converts; sim.Checkpoint is already the public alias.
-func toPublicCheckpoint(ck *Checkpoint) *Checkpoint { return ck }
+func toPublicCheckpoint(ck *zmesh.Checkpoint) *zmesh.Checkpoint { return ck }
 
-func benchCompress(b *testing.B, layout Layout, codec string) {
+func benchCompress(b *testing.B, layout zmesh.Layout, codec string) {
 	ck, f := pipelineData(b)
-	enc, err := NewEncoder(ck.Mesh, Options{Layout: layout, Curve: "hilbert", Codec: codec})
+	enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{Layout: layout, Curve: "hilbert", Codec: codec})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,23 +231,23 @@ func benchCompress(b *testing.B, layout Layout, codec string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := enc.CompressField(f, RelBound(1e-4)); err != nil {
+		if _, err := enc.CompressField(f, zmesh.RelBound(1e-4)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchDecompress(b *testing.B, layout Layout, codec string) {
+func benchDecompress(b *testing.B, layout zmesh.Layout, codec string) {
 	ck, f := pipelineData(b)
-	enc, err := NewEncoder(ck.Mesh, Options{Layout: layout, Curve: "hilbert", Codec: codec})
+	enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{Layout: layout, Curve: "hilbert", Codec: codec})
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := enc.CompressField(f, RelBound(1e-4))
+	c, err := enc.CompressField(f, zmesh.RelBound(1e-4))
 	if err != nil {
 		b.Fatal(err)
 	}
-	dec := NewDecoder(ck.Mesh)
+	dec := zmesh.NewDecoder(ck.Mesh)
 	if _, err := dec.DecompressField(c); err != nil { // warm the recipe cache
 		b.Fatal(err)
 	}
@@ -254,12 +262,12 @@ func benchDecompress(b *testing.B, layout Layout, codec string) {
 	}
 }
 
-func BenchmarkCompressSZLevel(b *testing.B)    { benchCompress(b, LayoutLevel, "sz") }
-func BenchmarkCompressSZZMesh(b *testing.B)    { benchCompress(b, LayoutZMesh, "sz") }
-func BenchmarkCompressZFPLevel(b *testing.B)   { benchCompress(b, LayoutLevel, "zfp") }
-func BenchmarkCompressZFPZMesh(b *testing.B)   { benchCompress(b, LayoutZMesh, "zfp") }
-func BenchmarkDecompressSZZMesh(b *testing.B)  { benchDecompress(b, LayoutZMesh, "sz") }
-func BenchmarkDecompressZFPZMesh(b *testing.B) { benchDecompress(b, LayoutZMesh, "zfp") }
+func BenchmarkCompressSZLevel(b *testing.B)    { benchCompress(b, zmesh.LayoutLevel, "sz") }
+func BenchmarkCompressSZZMesh(b *testing.B)    { benchCompress(b, zmesh.LayoutZMesh, "sz") }
+func BenchmarkCompressZFPLevel(b *testing.B)   { benchCompress(b, zmesh.LayoutLevel, "zfp") }
+func BenchmarkCompressZFPZMesh(b *testing.B)   { benchCompress(b, zmesh.LayoutZMesh, "zfp") }
+func BenchmarkDecompressSZZMesh(b *testing.B)  { benchDecompress(b, zmesh.LayoutZMesh, "sz") }
+func BenchmarkDecompressZFPZMesh(b *testing.B) { benchDecompress(b, zmesh.LayoutZMesh, "zfp") }
 
 // BenchmarkRecipeConstruction measures the chained-tree recipe build alone
 // (the overhead F7 shows amortizing).
@@ -268,7 +276,7 @@ func BenchmarkRecipeConstruction(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewEncoder(ck.Mesh, DefaultOptions()); err != nil {
+		if _, err := zmesh.NewEncoder(ck.Mesh, zmesh.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -282,7 +290,7 @@ func BenchmarkStructureDecode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewDecoderFromStructure(blob); err != nil {
+		if _, err := zmesh.NewDecoderFromStructure(blob); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,7 +8,11 @@
 // The daemon caches encoders and decoders by (structure-hash, layout,
 // curve, codec), sheds load past its in-flight budget with 429 +
 // Retry-After, and drains in-flight requests on SIGTERM/SIGINT before
-// exiting.
+// exiting. Compression accepts every registered layout, including "tac"
+// (adaptive 3-D boxes) and "auto" (per-field pick, always seeded 0 so
+// replicas answer identical bytes; the response headers record the
+// winner); decode paths require the concrete layout the compress response
+// recorded and answer 400 for "auto".
 //
 // Telemetry (server.*, encode.*, decode.*, recipe.*) is served on
 // /debug/vars under the "zmeshd" key.

@@ -46,6 +46,18 @@ const (
 	// emitted immediately before its children's. Less same-coordinate
 	// grouping, longer uniform-resolution runs.
 	ZMeshBlock
+	// TAC3D is the TAC-style adaptive 3D block layout: each level's blocks
+	// are greedily partitioned into compact padded boxes and serialized box
+	// by box in 3D-local row-major order (see tac.go). A TAC3D recipe also
+	// carries the box plan (Recipe.TACPlan), which the frame encoder uses to
+	// compress every box as a dense multi-dimensional array.
+	TAC3D
+	// AutoLayout is the per-field auto-picker pseudo-layout: the encoder
+	// trial-compresses a sample of each field under the candidate layouts
+	// and records the winner in the artifact, so decoders never see
+	// AutoLayout on the wire. It has no permutation of its own — building a
+	// recipe for it is an error.
+	AutoLayout
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +71,10 @@ func (l Layout) String() string {
 		return "zmesh"
 	case ZMeshBlock:
 		return "zmesh-block"
+	case TAC3D:
+		return "tac"
+	case AutoLayout:
+		return "auto"
 	default:
 		return fmt.Sprintf("layout(%d)", int(l))
 	}
@@ -75,6 +91,10 @@ func ParseLayout(s string) (Layout, error) {
 		return ZMesh, nil
 	case "zmesh-block":
 		return ZMeshBlock, nil
+	case "tac":
+		return TAC3D, nil
+	case "auto":
+		return AutoLayout, nil
 	}
 	return 0, fmt.Errorf("core: unknown layout %q", s)
 }
@@ -87,6 +107,9 @@ type Recipe struct {
 	n      int
 	// perm[t] is the level-order position of the value at target position t.
 	perm []int32
+	// tac is the box decomposition backing a TAC3D permutation (nil for
+	// every other layout); see TACPlan.
+	tac *TACPlan
 
 	// Kernel-safety validation state: the tuned gather/scatter kernels elide
 	// the random-side bounds check (see kernel.go), which is sound only when
@@ -344,6 +367,7 @@ func BuildRecipeSerial(m *amr.Mesh, layout Layout, curveName string) (*Recipe, e
 	if err != nil {
 		return nil, err
 	}
+	var plan *TACPlan
 	switch layout {
 	case LevelOrder:
 		b.buildLevelOrder()
@@ -353,6 +377,12 @@ func BuildRecipeSerial(m *amr.Mesh, layout Layout, curveName string) (*Recipe, e
 		b.buildZMeshCells()
 	case ZMeshBlock:
 		b.buildZMeshBlocks()
+	case TAC3D:
+		if plan, err = b.buildTAC(); err != nil {
+			return nil, err
+		}
+	case AutoLayout:
+		return nil, fmt.Errorf("core: %w", ErrAutoLayout)
 	default:
 		return nil, fmt.Errorf("core: unknown layout %v", layout)
 	}
@@ -360,8 +390,16 @@ func BuildRecipeSerial(m *amr.Mesh, layout Layout, curveName string) (*Recipe, e
 	if len(b.perm) != n {
 		return nil, fmt.Errorf("core: traversal emitted %d of %d cells", len(b.perm), n)
 	}
-	return &Recipe{layout: layout, curve: curveName, n: n, perm: b.perm}, nil
+	return &Recipe{layout: layout, curve: curveName, n: n, perm: b.perm, tac: plan}, nil
 }
+
+// ErrAutoLayout is returned by the recipe builders when asked for
+// AutoLayout: it is not a concrete serialization order. The encoder resolves
+// it to a concrete winner per field and stamps that winner into the
+// artifact, so a decoder that sees "auto" is being handed a request the
+// protocol never produces — callers should surface this loudly (the zmeshd
+// decompress endpoints turn it into a 400).
+var ErrAutoLayout = fmt.Errorf("layout \"auto\" is resolved per field at encode time and never names a concrete order; decode with the layout recorded in the artifact")
 
 // RecipeFromStructure rebuilds the recipe from serialized AMR tree metadata
 // (amr.Mesh.Structure). This is the decompression path: the permutation is

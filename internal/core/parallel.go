@@ -349,6 +349,7 @@ func buildRecipeParallel(ctx context.Context, m *amr.Mesh, layout Layout, curveN
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var plan *TACPlan
 	switch layout {
 	case LevelOrder:
 		fillIdentity(perm, workers)
@@ -356,6 +357,10 @@ func buildRecipeParallel(ctx context.Context, m *amr.Mesh, layout Layout, curveN
 		err = bctx.buildLevelsParallel(ctx, perm, workers)
 	case ZMesh, ZMeshBlock:
 		err = bctx.buildTreesParallel(ctx, perm, layout, workers)
+	case TAC3D:
+		plan, err = bctx.buildTACParallel(ctx, perm, workers)
+	case AutoLayout:
+		return nil, fmt.Errorf("core: %w", ErrAutoLayout)
 	default:
 		return nil, fmt.Errorf("core: unknown layout %v", layout)
 	}
@@ -366,7 +371,7 @@ func buildRecipeParallel(ctx context.Context, m *amr.Mesh, layout Layout, curveN
 		met.builds.Inc()
 		met.cells.Add(int64(n))
 	}
-	return &Recipe{layout: layout, curve: curveName, n: n, perm: perm}, nil
+	return &Recipe{layout: layout, curve: curveName, n: n, perm: perm, tac: plan}, nil
 }
 
 // runSpans drives the bounded worker pool: jobs[i] is executed exactly once

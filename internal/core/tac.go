@@ -1,0 +1,264 @@
+package core
+
+// TAC-style adaptive 3D block layout (TAC3D). The zMesh layouts flatten the
+// AMR hierarchy into one 1-D stream; the TAC/TAC+ line of work instead
+// partitions each refinement level into compact rectangular boxes on the
+// level's block lattice and compresses every box as a dense 2D/3D array, so
+// a dims-aware predictor sees real spatial neighborhoods instead of a
+// linearized walk. The layout half of that idea lives here: a deterministic
+// greedy partition of every level into boxes, and a Recipe that serializes
+// the field box by box in 3D-local row-major order.
+//
+// Partition spec (both builders implement exactly this, independently):
+//
+//   - Each level is partitioned separately, on its block lattice
+//     (levelBlockDims). Boxes never cross levels.
+//   - maxSide = max(1, tacTargetSideCells / blockSize) bounds every box side
+//     in blocks, so a box holds at most tacTargetSideCells cells per axis.
+//   - The level's occupied lattice coordinates are scanned in row-major
+//     (z, y, x) order — the SortedLevel order. Each still-unassigned
+//     occupied coordinate seeds a 1×1×1 box, which then grows greedily:
+//     rounds of +x, +y, +z one-slab extensions (in that fixed order) repeat
+//     until no direction extends. An extension is accepted iff the box side
+//     stays within maxSide and the lattice, the new slab contains at least
+//     one occupied unassigned block, and the grown box keeps
+//     claimed/volume >= tacMinFillNum/tacMinFillDen (integer arithmetic, no
+//     float determinism questions).
+//   - A finalized box claims every occupied unassigned block inside its
+//     extent. Boxes are emitted in creation order; within a box, cells run
+//     in local row-major order (x fastest) over the box's cell lattice, and
+//     a cell is emitted iff its containing block is claimed by this box —
+//     the box's fill mask. Every block of the level is claimed by exactly
+//     one box, so the concatenation of all boxes is a bijection over the
+//     level's cells and the whole permutation remains a pure function of
+//     topology: payloads still carry no permutation bytes.
+//
+// Partially-filled boxes are the "padded" part of the scheme: the plan's
+// per-box fill mask tells the frame encoder (package zmesh) which positions
+// of the dense padded array are real cells and which are padding, and the
+// mask itself is rebuilt from topology at decode time, never stored.
+
+import (
+	"math/bits"
+
+	"repro/internal/amr"
+)
+
+// TAC partition tuning. These are part of the layout definition: changing
+// them changes every TAC permutation, so they are constants, not options.
+const (
+	// tacTargetSideCells caps a box side in cells; the side cap in blocks is
+	// max(1, tacTargetSideCells/blockSize).
+	tacTargetSideCells = 32
+	// tacMinFillNum/tacMinFillDen is the minimum fraction of a box's block
+	// volume that must be occupied by blocks the box claims (1/2): growth
+	// that would dilute a box below half-full is rejected, which is what
+	// keeps boxes "compact" on ragged refinement frontiers.
+	tacMinFillNum = 1
+	tacMinFillDen = 2
+)
+
+// tacMaxSideBlocks is the box side cap in blocks for a given block size.
+func tacMaxSideBlocks(blockSize int) int {
+	side := tacTargetSideCells / blockSize
+	if side < 1 {
+		side = 1
+	}
+	return side
+}
+
+// TACBox is one box of a TAC plan: a rectangle of whole blocks on one
+// level's block lattice, plus the fill mask selecting which cells of the
+// dense box are real.
+type TACBox struct {
+	// Level is the refinement level the box lives on.
+	Level int
+	// Min and Size locate the box on the level's block lattice, in blocks.
+	// Size[2] is 1 on 2-D meshes.
+	Min, Size [3]int
+	// CellDims are the box's dense cell dimensions ({dx, dy, dz}, dz = 1 on
+	// 2-D meshes): Size scaled by the mesh block size.
+	CellDims [3]int
+	// NumCells counts the real cells (mask popcount).
+	NumCells int
+	// Mask is the fill mask: bit b set means the cell at row-major index b
+	// (x fastest, then y, then z) of the dense box is a real cell. A nil
+	// mask means the box is fully dense (NumCells == Volume()).
+	Mask []uint64
+}
+
+// Volume is the dense cell count of the box, padding included.
+func (b *TACBox) Volume() int { return b.CellDims[0] * b.CellDims[1] * b.CellDims[2] }
+
+// Present reports whether the cell at row-major index idx is real.
+func (b *TACBox) Present(idx int) bool {
+	if b.Mask == nil {
+		return true
+	}
+	return b.Mask[idx>>6]&(1<<(uint(idx)&63)) != 0
+}
+
+// TACPlan is the full box decomposition of a mesh: every level's boxes in
+// level order, boxes in creation order within a level. Like the Recipe it
+// belongs to, a plan is a pure function of the mesh topology.
+type TACPlan struct {
+	Boxes []TACBox
+}
+
+// NumBoxes reports the number of boxes in the plan.
+func (p *TACPlan) NumBoxes() int { return len(p.Boxes) }
+
+// TACPlan exposes the box decomposition of a TAC3D recipe (nil for every
+// other layout). The zmesh frame encoder uses it to build the dense padded
+// per-box arrays; callers must not modify it.
+func (r *Recipe) TACPlan() *TACPlan { return r.tac }
+
+// maskWords is the uint64 word count of a fill mask over volume cells.
+func maskWords(volume int) int { return (volume + 63) / 64 }
+
+// finalizeMask drops a fully-dense mask (every Present query short-circuits)
+// and returns the popcount either way.
+func finalizeMask(mask []uint64, volume int) ([]uint64, int) {
+	n := 0
+	for _, w := range mask {
+		n += bits.OnesCount64(w)
+	}
+	if n == volume {
+		return nil, n
+	}
+	return mask, n
+}
+
+// ---------------------------------------------------------------------------
+// Serial reference implementation (map-based). Mirrors the BuildRecipeSerial
+// discipline: shares no occupancy, growth, or emission code with the
+// parallel builder in tac_parallel.go, so bit-for-bit equality of both the
+// permutation and the plan between the two is a meaningful differential.
+
+// buildTAC runs the serial TAC partition and emission, returning the plan.
+func (b *builder) buildTAC() (*TACPlan, error) {
+	m := b.m
+	maxSide := tacMaxSideBlocks(b.bs)
+	plan := &TACPlan{}
+	for level := 0; level <= m.MaxLevel(); level++ {
+		ids := m.SortedLevel(level)
+		if len(ids) == 0 {
+			continue
+		}
+		bd := m.LevelCellDims(level)
+		for d := 0; d < m.Dims(); d++ {
+			bd[d] /= b.bs
+		}
+		if m.Dims() == 2 {
+			bd[2] = 1
+		}
+		// Occupancy and ownership maps over the level's block lattice.
+		occ := make(map[[3]int]amr.BlockID, len(ids))
+		owner := make(map[[3]int]int, len(ids))
+		for _, id := range ids {
+			c := m.Block(id).Coord
+			occ[[3]int{c[0], c[1], c[2]}] = id
+		}
+		for _, seed := range ids {
+			sc := m.Block(seed).Coord
+			if _, taken := owner[sc]; taken {
+				continue
+			}
+			min, size := sc, [3]int{1, 1, 1}
+			claimed := 1
+			// Greedy growth: rounds of +x/+y/+z slab extensions.
+			for {
+				extended := false
+				for d := 0; d < m.Dims(); d++ {
+					if size[d] >= maxSide || min[d]+size[d] >= bd[d] {
+						continue
+					}
+					gain := b.slabGain(occ, owner, min, size, d)
+					if gain == 0 {
+						continue
+					}
+					grown := size
+					grown[d]++
+					volume := grown[0] * grown[1] * grown[2]
+					if (claimed+gain)*tacMinFillDen < volume*tacMinFillNum {
+						continue
+					}
+					size = grown
+					claimed += gain
+					extended = true
+				}
+				if !extended {
+					break
+				}
+			}
+			// Claim and emit.
+			box := b.emitTACBox(occ, owner, level, min, size, len(plan.Boxes))
+			plan.Boxes = append(plan.Boxes, box)
+		}
+	}
+	return plan, nil
+}
+
+// slabGain counts the occupied, unassigned blocks in the one-slab extension
+// of box (min, size) in direction d.
+func (b *builder) slabGain(occ map[[3]int]amr.BlockID, owner map[[3]int]int, min, size [3]int, d int) int {
+	lo, hi := min, [3]int{min[0] + size[0], min[1] + size[1], min[2] + size[2]}
+	lo[d] = min[d] + size[d]
+	hi[d] = lo[d] + 1
+	gain := 0
+	for z := lo[2]; z < hi[2]; z++ {
+		for y := lo[1]; y < hi[1]; y++ {
+			for x := lo[0]; x < hi[0]; x++ {
+				c := [3]int{x, y, z}
+				if _, ok := occ[c]; !ok {
+					continue
+				}
+				if _, taken := owner[c]; !taken {
+					gain++
+				}
+			}
+		}
+	}
+	return gain
+}
+
+// emitTACBox claims the box's blocks, appends its cells to the permutation
+// in local row-major order, and returns the box with its fill mask.
+func (b *builder) emitTACBox(occ map[[3]int]amr.BlockID, owner map[[3]int]int, level int, min, size [3]int, boxIdx int) TACBox {
+	m := b.m
+	for z := min[2]; z < min[2]+size[2]; z++ {
+		for y := min[1]; y < min[1]+size[1]; y++ {
+			for x := min[0]; x < min[0]+size[0]; x++ {
+				c := [3]int{x, y, z}
+				if _, ok := occ[c]; !ok {
+					continue
+				}
+				if _, taken := owner[c]; !taken {
+					owner[c] = boxIdx
+				}
+			}
+		}
+	}
+	cd := [3]int{size[0] * b.bs, size[1] * b.bs, 1}
+	if m.Dims() == 3 {
+		cd[2] = size[2] * b.bs
+	}
+	volume := cd[0] * cd[1] * cd[2]
+	mask := make([]uint64, maskWords(volume))
+	idx := 0
+	for z := 0; z < cd[2]; z++ {
+		for y := 0; y < cd[1]; y++ {
+			for x := 0; x < cd[0]; x++ {
+				bc := [3]int{min[0] + x/b.bs, min[1] + y/b.bs, min[2] + z/b.bs}
+				if own, taken := owner[bc]; taken && own == boxIdx {
+					id := occ[bc]
+					b.perm = append(b.perm, b.cellPos(id, x%b.bs, y%b.bs, z%b.bs))
+					mask[idx>>6] |= 1 << (uint(idx) & 63)
+				}
+				idx++
+			}
+		}
+	}
+	mask, n := finalizeMask(mask, volume)
+	return TACBox{Level: level, Min: min, Size: size, CellDims: cd, NumCells: n, Mask: mask}
+}

@@ -191,7 +191,7 @@ func (t *Table) String() string {
 
 // IDs of the experiments, in presentation order.
 func ExperimentIDs() []string {
-	return []string{"T1", "F2", "F3", "F4", "F5", "T6", "F7", "T8", "F9", "F10", "T11", "T12", "T13", "F14", "T15"}
+	return []string{"T1", "F2", "F3", "F4", "F5", "T6", "F7", "T8", "F9", "F10", "T11", "T12", "T13", "F14", "T15", "T16"}
 }
 
 // Run dispatches one experiment by ID. Besides the listed IDs, "DIAG" runs
@@ -228,6 +228,8 @@ func (s *Suite) Run(id string) (*Table, error) {
 		return s.PaddedLevels()
 	case "T15":
 		return s.Temporal()
+	case "T16":
+		return s.TACComparison()
 	case "DIAG":
 		return s.Locality()
 	}

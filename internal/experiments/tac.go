@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	zmesh "repro"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TACComparison (T16) places the zMesh 1-D reordering against the TAC-style
+// adaptive 3-D box layout on the shock-dominated datasets, through the full
+// public pipeline (real artifacts, container envelope included), and records
+// which layout the per-field auto-picker selects. The 2-D problems measure
+// TAC's in-plane neighborhoods; the genuine 3-D Sedov solve is where the
+// dense boxes gain a third predictive axis and the 1-D walk loses the most
+// locality.
+func (s *Suite) TACComparison() (*Table, error) {
+	const eb = 1e-3
+	t := &Table{
+		Title:  "T16 — zMesh vs TAC adaptive boxes (rel 1e-3, full artifacts)",
+		Header: []string{"dataset", "field", "sz zmesh", "sz tac", "zfp zmesh", "zfp tac", "auto pick (sz)"},
+	}
+	type job struct {
+		name string
+		ck   *sim.Checkpoint
+	}
+	var jobs []job
+	for _, p := range s.Cfg.Problems {
+		ck, err := s.Checkpoint(p)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{p, ck})
+	}
+	// The 3-D hierarchy, scaled exactly like F10 so the two tables describe
+	// the same dataset.
+	depth := s.Cfg.MaxDepth - 1
+	if depth < 2 {
+		depth = 2
+	}
+	res3 := s.Cfg.Resolution / 4
+	if res3 < 24 {
+		res3 = 24
+	}
+	ck3, err := sim.GenerateCheckpoint3D("sedov3d", res3, sim.Analytic3DOptions{
+		BlockSize: s.Cfg.BlockSize,
+		RootDims:  [3]int{2, 2, 2},
+		MaxDepth:  depth,
+		Threshold: s.Cfg.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs = append(jobs, job{"sedov3d", ck3})
+
+	bound := zmesh.RelBound(eb)
+	for _, j := range jobs {
+		// One encoder per (layout, codec), shared by the job's fields — the
+		// recipe amortization the library is built around.
+		encs := map[[2]string]*zmesh.Encoder{}
+		for _, codec := range []string{"sz", "zfp"} {
+			for _, layout := range []core.Layout{core.ZMesh, core.TAC3D} {
+				enc, err := zmesh.NewEncoder(j.ck.Mesh, zmesh.Options{Layout: layout, Curve: "hilbert", Codec: codec})
+				if err != nil {
+					return nil, err
+				}
+				encs[[2]string{codec, layout.String()}] = enc
+			}
+		}
+		auto, err := zmesh.NewEncoder(j.ck.Mesh, zmesh.Options{Layout: core.AutoLayout, Curve: "hilbert", Codec: "sz"})
+		if err != nil {
+			return nil, err
+		}
+		fields := s.Cfg.Fields
+		if j.name == "sedov3d" {
+			fields = nil
+			for _, f := range j.ck.Fields {
+				fields = append(fields, f.Name)
+			}
+		}
+		for _, fn := range fields {
+			f, ok := j.ck.Field(fn)
+			if !ok {
+				return nil, fmt.Errorf("experiments: field %q missing from %s", fn, j.name)
+			}
+			row := []string{j.name, fn}
+			for _, codec := range []string{"sz", "zfp"} {
+				for _, layout := range []core.Layout{core.ZMesh, core.TAC3D} {
+					c, err := encs[[2]string{codec, layout.String()}].CompressField(f, bound)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmt.Sprintf("%.2f", c.Ratio()))
+				}
+			}
+			ca, err := auto.CompressField(f, bound)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ca.Layout.String())
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"tac compresses each level as compact padded 2-D/3-D boxes with the dims-aware codec; "+
+			"ratios are full artifacts (box table + container envelope included)",
+		"auto pick = layout the deterministic per-field picker (seed 0) records in the artifact")
+	return t, nil
+}

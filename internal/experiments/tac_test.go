@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestTACComparison(t *testing.T) {
+	s := quickSuite()
+	tbl, err := s.TACComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	seen3d := false
+	for _, row := range tbl.Rows {
+		if len(row) != 7 {
+			t.Fatalf("row width %d, want 7: %v", len(row), row)
+		}
+		for _, cell := range row[2:6] {
+			r, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("non-numeric ratio %q in %v", cell, row)
+			}
+			if r <= 0 {
+				t.Fatalf("degenerate ratio in %v", row)
+			}
+		}
+		if row[6] == "auto" {
+			t.Fatalf("auto column records the pseudo-layout, not a winner: %v", row)
+		}
+		if row[0] == "sedov3d" {
+			seen3d = true
+		}
+	}
+	if !seen3d {
+		t.Fatal("no sedov3d rows")
+	}
+}

@@ -44,7 +44,7 @@ func median(xs []float64) float64 {
 
 // CIGateVersion is bumped when the gate's workload or scoring changes, so a
 // stale committed baseline is rejected instead of silently compared.
-const CIGateVersion = 2
+const CIGateVersion = 3
 
 // KernelSpeedupFloor is the minimum combined apply+restore speedup of the
 // tuned gather/scatter kernels over the serial oracles. Unlike the score
@@ -258,8 +258,11 @@ func MeasureCIGate(reps int) (*CIMeasurement, error) {
 	}
 
 	// Deterministic ratio table over layout × codec (hilbert curve),
-	// aggregated across the config's fields.
-	for _, layout := range []core.Layout{core.LevelOrder, core.SFCWithinLevel, core.ZMesh, core.ZMeshBlock} {
+	// aggregated across the config's fields. AutoLayout belongs here too:
+	// its per-field pick is seeded (AutoSeed 0 by default) and therefore as
+	// deterministic as any concrete layout, and gating it catches both a
+	// ratio regression in a winner and a picker change that flips a winner.
+	for _, layout := range []core.Layout{core.LevelOrder, core.SFCWithinLevel, core.ZMesh, core.ZMeshBlock, core.TAC3D, core.AutoLayout} {
 		for _, codec := range []string{"sz", "zfp"} {
 			enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{Layout: layout, Curve: "hilbert", Codec: codec})
 			if err != nil {

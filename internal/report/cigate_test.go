@@ -19,8 +19,13 @@ func TestCIGateSelfComparison(t *testing.T) {
 	if m.ServerAllocsPerOp <= 0 {
 		t.Fatalf("server allocs/op missing: %+v", m)
 	}
-	if len(m.Ratios) != 8 {
-		t.Fatalf("got %d ratio combos, want 8 (4 layouts x 2 codecs)", len(m.Ratios))
+	if len(m.Ratios) != 12 {
+		t.Fatalf("got %d ratio combos, want 12 (6 layouts x 2 codecs)", len(m.Ratios))
+	}
+	for _, combo := range []string{"tac/hilbert/sz", "tac/hilbert/zfp", "auto/hilbert/sz", "auto/hilbert/zfp"} {
+		if _, ok := m.Ratios[combo]; !ok {
+			t.Errorf("ratio combo %s missing", combo)
+		}
 	}
 	for combo, r := range m.Ratios {
 		if r <= 1 {

@@ -74,36 +74,37 @@ func post(t *testing.T, h http.Handler, path string, body []byte, wantStatus int
 	return rec
 }
 
-func compressQuery(codec string) string {
+func compressQuery(layout zmesh.Layout, codec string) string {
 	return url.Values{
 		wire.ParamField:  {"dens"},
-		wire.ParamLayout: {zmesh.LayoutZMesh.String()},
+		wire.ParamLayout: {layout.String()},
 		wire.ParamCurve:  {"hilbert"},
 		wire.ParamCodec:  {codec},
 		wire.ParamBound:  {wire.FormatBound(testBound())},
 	}.Encode()
 }
 
-func decompressQuery() string {
+func decompressQuery(layout zmesh.Layout) string {
 	return url.Values{
 		wire.ParamField:  {"dens"},
-		wire.ParamLayout: {zmesh.LayoutZMesh.String()},
+		wire.ParamLayout: {layout.String()},
 		wire.ParamCurve:  {"hilbert"},
 	}.Encode()
 }
 
 // recordExchange runs the canonical register→compress→decompress exchange
-// for one codec against a fresh server and captures every byte on the wire.
-func recordExchange(t *testing.T, codec string) *wireFixture {
+// for one layout/codec pair against a fresh server and captures every byte
+// on the wire.
+func recordExchange(t *testing.T, layout zmesh.Layout, codec string) *wireFixture {
 	t.Helper()
 	s := New(Config{})
 	m, f := testMesh(t)
 	fx := &wireFixture{
 		ContainerVersion: container.Version,
 		Structure:        m.Structure(),
-		CompressQuery:    compressQuery(codec),
+		CompressQuery:    compressQuery(layout, codec),
 		CompressBody:     wire.AppendFloats(nil, zmesh.FieldValues(f)),
-		DecompressQuery:  decompressQuery(),
+		DecompressQuery:  decompressQuery(layout),
 	}
 
 	rec := post(t, s.Handler(), wire.PathMeshes, fx.Structure, http.StatusCreated)
@@ -135,65 +136,75 @@ func TestGoldenWire(t *testing.T) {
 		}
 		codec := codec
 		t.Run(codec, func(t *testing.T) {
-			name := filepath.Join(wireGoldenDir, codec+".json")
-			if *updateWire {
-				fx := recordExchange(t, codec)
-				buf, err := json.MarshalIndent(fx, "", " ")
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := os.MkdirAll(wireGoldenDir, 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("wrote %s", name)
-				return
-			}
-			buf, err := os.ReadFile(name)
-			if err != nil {
-				t.Fatalf("%v (regenerate with `go test ./internal/server -run TestGoldenWire -update`)", err)
-			}
-			var fx wireFixture
-			if err := json.Unmarshal(buf, &fx); err != nil {
-				t.Fatalf("parsing %s: %v", name, err)
-			}
-			if fx.ContainerVersion != container.Version {
-				t.Fatalf("%s: fixture written with container version %d, code is at version %d.\n"+
-					"The envelope format changed: regenerate with `go test ./internal/server -run TestGoldenWire -update`.",
-					name, fx.ContainerVersion, container.Version)
-			}
-			if !container.IsContainer(fx.CompressPayload) {
-				t.Fatalf("%s: committed payload is not a container envelope", name)
-			}
-
-			s := New(Config{})
-			rec := post(t, s.Handler(), wire.PathMeshes, fx.Structure, http.StatusCreated)
-			if !bytes.Equal(rec.Body.Bytes(), fx.RegisterBody) {
-				t.Fatalf("register response drifted:\n got %s\nwant %s", rec.Body.Bytes(), fx.RegisterBody)
-			}
-
-			rec = post(t, s.Handler(), wire.CompressPath(fx.MeshID)+"?"+fx.CompressQuery, fx.CompressBody, http.StatusOK)
-			for _, h := range wireMetaHeaders {
-				if got := rec.Header().Get(h); got != fx.CompressHeaders[h] {
-					t.Errorf("compress header %s = %q, fixture pins %q", h, got, fx.CompressHeaders[h])
-				}
-			}
-			if !bytes.Equal(rec.Body.Bytes(), fx.CompressPayload) {
-				t.Fatalf("compress payload drifted (%d bytes, fixture %d).\n"+
-					"The wire or artifact format changed. If intentional, bump container.Version\n"+
-					"and regenerate with `go test ./internal/server -run TestGoldenWire -update`.",
-					rec.Body.Len(), len(fx.CompressPayload))
-			}
-
-			// The committed payload (not the one just produced) must still
-			// decompress to the committed bits: old artifacts stay readable.
-			rec = post(t, s.Handler(), wire.DecompressPath(fx.MeshID)+"?"+fx.DecompressQuery, fx.CompressPayload, http.StatusOK)
-			if !bytes.Equal(rec.Body.Bytes(), fx.DecompressBody) {
-				t.Fatalf("decompress output drifted (%d bytes, fixture %d)", rec.Body.Len(), len(fx.DecompressBody))
-			}
+			goldenWireCase(t, filepath.Join(wireGoldenDir, codec+".json"), zmesh.LayoutZMesh, codec)
 		})
+	}
+}
+
+// TestGoldenWireTAC pins the exchange for the TAC box layout: the zTAC
+// frame rides inside the same container envelope, so this fixture holds the
+// frame format itself to the golden discipline, not just the envelope.
+func TestGoldenWireTAC(t *testing.T) {
+	goldenWireCase(t, filepath.Join(wireGoldenDir, "tac_sz.json"), zmesh.LayoutTAC, "sz")
+}
+
+func goldenWireCase(t *testing.T, name string, layout zmesh.Layout, codec string) {
+	if *updateWire {
+		fx := recordExchange(t, layout, codec)
+		buf, err := json.MarshalIndent(fx, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(wireGoldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", name)
+		return
+	}
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/server -run TestGoldenWire -update`)", err)
+	}
+	var fx wireFixture
+	if err := json.Unmarshal(buf, &fx); err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	if fx.ContainerVersion != container.Version {
+		t.Fatalf("%s: fixture written with container version %d, code is at version %d.\n"+
+			"The envelope format changed: regenerate with `go test ./internal/server -run TestGoldenWire -update`.",
+			name, fx.ContainerVersion, container.Version)
+	}
+	if !container.IsContainer(fx.CompressPayload) {
+		t.Fatalf("%s: committed payload is not a container envelope", name)
+	}
+
+	s := New(Config{})
+	rec := post(t, s.Handler(), wire.PathMeshes, fx.Structure, http.StatusCreated)
+	if !bytes.Equal(rec.Body.Bytes(), fx.RegisterBody) {
+		t.Fatalf("register response drifted:\n got %s\nwant %s", rec.Body.Bytes(), fx.RegisterBody)
+	}
+
+	rec = post(t, s.Handler(), wire.CompressPath(fx.MeshID)+"?"+fx.CompressQuery, fx.CompressBody, http.StatusOK)
+	for _, h := range wireMetaHeaders {
+		if got := rec.Header().Get(h); got != fx.CompressHeaders[h] {
+			t.Errorf("compress header %s = %q, fixture pins %q", h, got, fx.CompressHeaders[h])
+		}
+	}
+	if !bytes.Equal(rec.Body.Bytes(), fx.CompressPayload) {
+		t.Fatalf("compress payload drifted (%d bytes, fixture %d).\n"+
+			"The wire or artifact format changed. If intentional, bump container.Version\n"+
+			"and regenerate with `go test ./internal/server -run TestGoldenWire -update`.",
+			rec.Body.Len(), len(fx.CompressPayload))
+	}
+
+	// The committed payload (not the one just produced) must still
+	// decompress to the committed bits: old artifacts stay readable.
+	rec = post(t, s.Handler(), wire.DecompressPath(fx.MeshID)+"?"+fx.DecompressQuery, fx.CompressPayload, http.StatusOK)
+	if !bytes.Equal(rec.Body.Bytes(), fx.DecompressBody) {
+		t.Fatalf("decompress output drifted (%d bytes, fixture %d)", rec.Body.Len(), len(fx.DecompressBody))
 	}
 }
 
@@ -211,7 +222,7 @@ func TestWireErrorShapes(t *testing.T) {
 		status     int
 	}{
 		{"empty structure", wire.PathMeshes, nil, http.StatusBadRequest},
-		{"unknown mesh", wire.CompressPath("deadbeef") + "?" + compressQuery("sz"), nil, http.StatusNotFound},
+		{"unknown mesh", wire.CompressPath("deadbeef") + "?" + compressQuery(zmesh.LayoutZMesh, "sz"), nil, http.StatusNotFound},
 		{"missing bound", wire.CompressPath(id) + "?field=dens", []byte{0, 0, 0, 0, 0, 0, 0, 0}, http.StatusBadRequest},
 		{"bad bound", wire.CompressPath(id) + "?bound=abs:-1", []byte{0, 0, 0, 0, 0, 0, 0, 0}, http.StatusBadRequest},
 		{"unknown codec", wire.CompressPath(id) + "?codec=nope&bound=abs:1e-3", nil, http.StatusBadRequest},

@@ -472,6 +472,19 @@ func pipelineParams(r *http.Request) (zmesh.Options, error) {
 	return opt, nil
 }
 
+// requireConcreteLayout rejects the LayoutAuto pseudo-layout where only a
+// concrete serialization order makes sense. Auto is an encode-time selection
+// policy — every artifact records its concrete winner — so a request naming
+// it on a decode path is a client error and must surface as an explicit 400,
+// never a 500 or a silent fallback to some default order.
+func requireConcreteLayout(opt zmesh.Options, context string) error {
+	if opt.Layout == zmesh.LayoutAuto {
+		return badRequest(fmt.Errorf("layout %q is encode-only (%s): %w",
+			opt.Layout, context, zmesh.ErrAutoLayout))
+	}
+	return nil
+}
+
 // handleCompress: POST /v1/meshes/{id}/compress?field=&layout=&curve=&codec=&bound=,
 // body = float64-LE level-order values; response = container-enveloped
 // payload with X-Zmesh-* metadata headers.
@@ -566,6 +579,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error 
 	}
 	opt, err := pipelineParams(r)
 	if err != nil {
+		return err
+	}
+	if err := requireConcreteLayout(opt, "decode with the layout the compress response recorded"); err != nil {
 		return err
 	}
 	fieldName := r.URL.Query().Get(wire.ParamField)

@@ -190,6 +190,9 @@ func (s *Server) handleDecompressStream(w http.ResponseWriter, r *http.Request) 
 	if err != nil {
 		return err
 	}
+	if err := requireConcreteLayout(opt, "decode with the layout the compress response recorded"); err != nil {
+		return err
+	}
 	fieldName := r.URL.Query().Get(wire.ParamField)
 	if fieldName == "" {
 		fieldName = "field"
@@ -282,8 +285,14 @@ func writeChunked(w io.Writer, data []byte) error {
 // means any per-section failure surfaces as a clean JSON error instead of
 // a truncated body.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) error {
-	entry, _, enc, err := s.streamParams(r)
+	entry, opt, enc, err := s.streamParams(r)
 	if err != nil {
+		return err
+	}
+	// The batch response advertises ONE layout header for all sections, but
+	// the auto picker chooses per field — a mixed batch would mislabel every
+	// section the last one disagrees with. Reject loudly instead of lying.
+	if err := requireConcreteLayout(opt, "the batch checkpoint records one layout for all fields; pick a concrete layout or compress fields individually"); err != nil {
 		return err
 	}
 	var defaultBound zmesh.Bound

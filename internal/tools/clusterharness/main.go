@@ -88,13 +88,23 @@ type workUnit struct {
 	values   []float64
 	artifact *zmesh.Compressed // expected compress result
 	decoded  []float64         // expected decompress result
+	tacArt   *zmesh.Compressed // expected compress result under the TAC box layout
+	tacDec   []float64         // expected TAC decompress result
 	ck       *zmesh.Checkpoint
 	ckArts   []*zmesh.Compressed // expected checkpoint results
 }
 
 var (
-	workOpt   = zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"}
-	workBound = zmesh.AbsBound(1e-3)
+	workOpt = zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"}
+	// A second pipeline per mesh: the TAC box layout exercises the zTAC
+	// frame path through every replica and doubles the per-mesh encoder
+	// cache population the bounds below must account for.
+	workOptTAC = zmesh.Options{Layout: zmesh.LayoutTAC, Curve: "hilbert", Codec: "sz"}
+	workBound  = zmesh.AbsBound(1e-3)
+
+	// workPipelines is the number of distinct (options, bound) pipelines the
+	// writers drive per mesh; each populates its own encoder-cache entry.
+	workPipelines = 2
 )
 
 // buildWork generates m distinct topologies (different refinement subsets
@@ -146,6 +156,18 @@ func buildWork(m int) ([]*workUnit, error) {
 			return nil, err
 		}
 		u.decoded = zmesh.FieldValues(decField)
+		encTAC, err := zmesh.NewEncoder(mesh, workOptTAC)
+		if err != nil {
+			return nil, err
+		}
+		if u.tacArt, err = encTAC.CompressField(f, workBound); err != nil {
+			return nil, err
+		}
+		decTAC, err := zmesh.NewDecoder(mesh).DecompressField(u.tacArt)
+		if err != nil {
+			return nil, err
+		}
+		u.tacDec = zmesh.FieldValues(decTAC)
 		for _, cf := range u.ck.Fields {
 			a, err := enc.CompressField(cf, workBound)
 			if err != nil {
@@ -268,7 +290,7 @@ func run(ctx context.Context, bin string, nReplicas, nWriters, nMeshes, replicat
 				}
 				u := work[rng.Intn(len(work))]
 				var err error
-				switch rng.Intn(6) {
+				switch rng.Intn(8) {
 				case 0, 1, 2: // compress
 					var comp *zmesh.Compressed
 					comp, err = cc.Compress(ctx, u.id, u.field.Name, u.values, workOpt, workBound)
@@ -280,6 +302,21 @@ func run(ctx context.Context, bin string, nReplicas, nWriters, nMeshes, replicat
 					vals, err = cc.Decompress(ctx, u.id, u.artifact)
 					if err == nil {
 						err = bitExact(vals, u.decoded)
+					}
+				case 5: // TAC compress
+					var comp *zmesh.Compressed
+					comp, err = cc.Compress(ctx, u.id, u.field.Name, u.values, workOptTAC, workBound)
+					if err == nil && comp.Layout != zmesh.LayoutTAC {
+						err = fmt.Errorf("mesh %s: TAC compress answered layout %v", u.id[:12], comp.Layout)
+					}
+					if err == nil && !bytes.Equal(comp.Payload, u.tacArt.Payload) {
+						err = fmt.Errorf("mesh %s: TAC artifact differs from library", u.id[:12])
+					}
+				case 6: // TAC decompress
+					var vals []float64
+					vals, err = cc.Decompress(ctx, u.id, u.tacArt)
+					if err == nil {
+						err = bitExact(vals, u.tacDec)
 					}
 				default: // checkpoint batch
 					var arts []*zmesh.Compressed
@@ -447,19 +484,20 @@ func run(ctx context.Context, bin string, nReplicas, nWriters, nMeshes, replicat
 		fmt.Printf("clusterharness: replica %d vars ok (builds=%d shed=%d peer.fetches=%d)\n",
 			r.idx, snap.Counters["recipe.builds"], snapShed(snap), snap.Counters["server.peer.fetches"])
 	}
-	// Each mesh has R owners and one (options, bound) pipeline, so the
-	// replicas that never lost their caches build at most R × meshes
-	// encoders between them (server.cache.misses counts exactly one per
-	// encoder build), no matter how many writers hammered. recipe.builds
-	// additionally counts the decompress side's restore recipes — at most
-	// one more per owned mesh — so its bound is 2 × R × meshes.
-	if maxEnc := int64(replication * len(work)); survivorEncBuilds > maxEnc {
-		return fmt.Errorf("surviving replicas built %d encoders for %d meshes × R=%d (max %d) — encoder cache not bounding work",
-			survivorEncBuilds, len(work), replication, maxEnc)
+	// Each mesh has R owners and workPipelines (options, bound) pipelines
+	// (zmesh and TAC), so the replicas that never lost their caches build at
+	// most pipelines × R × meshes encoders between them (server.cache.misses
+	// counts exactly one per encoder build), no matter how many writers
+	// hammered. recipe.builds additionally counts the decompress side's
+	// restore recipes — at most one more per pipeline per owned mesh — so
+	// its bound is 2 × pipelines × R × meshes.
+	if maxEnc := int64(workPipelines * replication * len(work)); survivorEncBuilds > maxEnc {
+		return fmt.Errorf("surviving replicas built %d encoders for %d meshes × R=%d × %d pipelines (max %d) — encoder cache not bounding work",
+			survivorEncBuilds, len(work), replication, workPipelines, maxEnc)
 	}
-	if maxBuilds := int64(2 * replication * len(work)); survivorBuilds > maxBuilds {
-		return fmt.Errorf("surviving replicas built %d recipes for %d meshes × R=%d (max %d) — recipe cache not bounding work",
-			survivorBuilds, len(work), replication, maxBuilds)
+	if maxBuilds := int64(2 * workPipelines * replication * len(work)); survivorBuilds > maxBuilds {
+		return fmt.Errorf("surviving replicas built %d recipes for %d meshes × R=%d × %d pipelines (max %d) — recipe cache not bounding work",
+			survivorBuilds, len(work), replication, workPipelines, maxBuilds)
 	}
 
 	// Clean shutdown: every replica drains on SIGTERM.

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"strconv"
+
+	zmesh "repro"
 
 	"repro/internal/amr"
 	"repro/internal/compress"
@@ -184,5 +187,54 @@ func run() error {
 	if err := write(tempDir, "seed-keyframe-bitflip", corpusEntry(true, flipMiddle(frame), m.Structure())); err != nil {
 		return err
 	}
-	return nil
+	return tacSeeds()
+}
+
+// tacSeeds writes the zTAC frame corpus for the root package's
+// FuzzTACFrame: a valid frame for the same sedov checkpoint the fuzz target
+// decodes against (extracted bare from the container envelope so mutations
+// reach the frame parser instead of dying on the envelope CRC), a bit flip,
+// a truncation, and a handcrafted declared-box-count bomb that must be
+// rejected before any allocation.
+func tacSeeds() error {
+	ck, err := zmesh.Generate("sedov", zmesh.GenerateOptions{
+		Resolution: 64, TScale: 0.5, BlockSize: 8,
+		RootDims: [3]int{2, 2, 1}, MaxDepth: 2, Threshold: 0.35,
+	})
+	if err != nil {
+		return fmt.Errorf("tac seeds: %w", err)
+	}
+	dens, ok := ck.Field("dens")
+	if !ok {
+		return fmt.Errorf("tac seeds: dens missing")
+	}
+	enc, err := zmesh.NewEncoder(ck.Mesh, zmesh.Options{Layout: zmesh.LayoutTAC, Curve: "hilbert", Codec: "sz"})
+	if err != nil {
+		return err
+	}
+	c, err := enc.CompressField(dens, compress.AbsBound(1e-3))
+	if err != nil {
+		return err
+	}
+	env, err := container.Unwrap(c.Payload)
+	if err != nil {
+		return fmt.Errorf("tac seeds: unwrap: %w", err)
+	}
+	tacFrame := env.Payload
+	dir := filepath.Join("testdata", "fuzz", "FuzzTACFrame")
+	if err := write(dir, "seed-valid-frame", corpusEntry(tacFrame)); err != nil {
+		return err
+	}
+	if err := write(dir, "seed-bitflip", corpusEntry(flipMiddle(tacFrame))); err != nil {
+		return err
+	}
+	if err := write(dir, "seed-truncated", corpusEntry(tacFrame[:len(tacFrame)/2])); err != nil {
+		return err
+	}
+	// Header declaring 2^60 boxes over the real value count: the decoder
+	// must reject the count against the recipe's plan before sizing anything
+	// from it.
+	bomb := append([]byte("zTAC\x01"), binary.AppendUvarint(nil, uint64(c.NumValues))...)
+	bomb = binary.AppendUvarint(bomb, 1<<60)
+	return write(dir, "seed-box-count-bomb", corpusEntry(bomb))
 }

@@ -1,0 +1,40 @@
+package zmesh
+
+// Shared dataset for the internal-package pipeline benchmarks
+// (parallel_test.go, telemetry_integration_test.go). The external benchmark
+// harness in bench_test.go has its own copy via the experiments suite; this
+// package cannot use that suite because internal/experiments imports the
+// public API for the T16 comparison.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var (
+	pipelineOnce sync.Once
+	pipelineCk   *sim.Checkpoint
+	pipelineErr  error
+)
+
+// pipelineData returns the sedov benchmark checkpoint (128² solve, depth-3
+// hierarchy — the same scale bench_test.go uses) and its density field.
+func pipelineData(b *testing.B) (*Checkpoint, *Field) {
+	b.Helper()
+	pipelineOnce.Do(func() {
+		opt := sim.DefaultCheckpointOptions()
+		opt.Resolution = 128
+		opt.MaxDepth = 3
+		pipelineCk, pipelineErr = sim.GenerateCheckpoint("sedov", opt)
+	})
+	if pipelineErr != nil {
+		b.Fatal(pipelineErr)
+	}
+	f, ok := pipelineCk.Field("dens")
+	if !ok {
+		b.Fatal("dens missing")
+	}
+	return pipelineCk, f
+}

@@ -59,6 +59,12 @@ type TemporalEncoder struct {
 // NewTemporalEncoder creates an encoder for one quantity stream.
 func NewTemporalEncoder(opt Options) (*TemporalEncoder, error) {
 	opt.fillDefaults()
+	// A temporal stream's delta frames only make sense against one stable
+	// order; a per-snapshot auto pick could silently flip the layout between
+	// keyframes, so the pseudo-layout is rejected up front.
+	if opt.Layout == core.AutoLayout {
+		return nil, fmt.Errorf("zmesh: temporal streams need a concrete layout: %w", core.ErrAutoLayout)
+	}
 	codec, err := compress.Get(opt.Codec)
 	if err != nil {
 		return nil, err

@@ -71,7 +71,19 @@ const (
 	LayoutZMesh = core.ZMesh
 	// LayoutZMeshBlock is the block-granularity ablation variant of zMesh.
 	LayoutZMeshBlock = core.ZMeshBlock
+	// LayoutTAC partitions each level into compact padded 3-D boxes and
+	// compresses every box as a dense array with the dims-aware codec (the
+	// TAC/TAC+ line of follow-up work).
+	LayoutTAC = core.TAC3D
+	// LayoutAuto trial-compresses a deterministic sample of each field under
+	// the candidate layouts and records the winner in the artifact; it never
+	// appears in a decoded artifact's Layout field.
+	LayoutAuto = core.AutoLayout
 )
+
+// ErrAutoLayout is returned where LayoutAuto is not meaningful: it names a
+// per-field selection policy, not a concrete serialization order.
+var ErrAutoLayout = core.ErrAutoLayout
 
 // AbsBound bounds the point-wise absolute error.
 func AbsBound(v float64) Bound { return compress.AbsBound(v) }
@@ -138,6 +150,11 @@ type Options struct {
 	Curve string
 	// Codec is the lossy compressor: "sz" or "zfp".
 	Codec string
+	// AutoSeed seeds the deterministic sampling of the LayoutAuto picker.
+	// Encoders with equal options (AutoSeed included) pick identical layouts
+	// for identical fields and produce byte-identical artifacts. Ignored for
+	// concrete layouts.
+	AutoSeed uint64
 }
 
 // DefaultOptions is zMesh with Hilbert sibling order over SZ — the
@@ -184,7 +201,8 @@ func (c *Compressed) Ratio() float64 {
 type Encoder struct {
 	opt    Options
 	mesh   *Mesh
-	recipe *core.Recipe
+	recipe *core.Recipe // nil iff auto != nil
+	auto   *autoPicker  // candidate recipes for LayoutAuto, else nil
 	codec  compress.Compressor
 	stats  *encoderStats // nil unless Instrument attached a registry
 }
@@ -202,15 +220,27 @@ func NewEncoder(m *Mesh, opt Options) (*Encoder, error) {
 // recipe.builds increments while cache hits leave the counter flat.
 func NewEncoderObserved(m *Mesh, opt Options, r *Registry) (*Encoder, error) {
 	opt.fillDefaults()
-	recipe, err := core.BuildRecipeObserved(m, opt.Layout, opt.Curve, 0, r)
-	if err != nil {
-		return nil, err
-	}
 	codec, err := compress.Get(opt.Codec)
 	if err != nil {
 		return nil, err
 	}
-	e := &Encoder{opt: opt, mesh: m, recipe: recipe, codec: codec}
+	e := &Encoder{opt: opt, mesh: m, codec: codec}
+	if opt.Layout == core.AutoLayout {
+		// One recipe per candidate, all derived up front: the per-field pick
+		// then only trial-compresses, and the recipe cost still amortizes
+		// across every quantity of the checkpoint.
+		recipes := make([]*core.Recipe, len(autoCandidates))
+		for i, layout := range autoCandidates {
+			if recipes[i], err = core.BuildRecipeObserved(m, layout, opt.Curve, 0, r); err != nil {
+				return nil, err
+			}
+		}
+		e.auto = &autoPicker{seed: opt.AutoSeed, recipes: recipes}
+	} else {
+		if e.recipe, err = core.BuildRecipeObserved(m, opt.Layout, opt.Curve, 0, r); err != nil {
+			return nil, err
+		}
+	}
 	if r != nil {
 		e.Instrument(r)
 	}
@@ -319,6 +349,8 @@ func clampWorkers(workers, jobs int) int {
 type encodeScratch struct {
 	flat    []float64
 	ordered []float64
+	sample  []float64 // auto-picker candidate-ordered stream
+	tac     tacFrameScratch
 }
 
 // Scratch carries the reusable stream buffers of the value-stream hot paths
@@ -329,6 +361,8 @@ type encodeScratch struct {
 type Scratch struct {
 	ordered []float64
 	flat    []float64
+	sample  []float64 // auto-picker candidate-ordered stream
+	tac     tacFrameScratch
 }
 
 // PinnedBytes reports the total capacity, in bytes, of the scratch's
@@ -336,7 +370,9 @@ type Scratch struct {
 // may pin use this to audit a Scratch the same way they audit their own
 // byte buffers (one huge request must not park its buffers in the pool
 // forever).
-func (s *Scratch) PinnedBytes() int { return 8 * (cap(s.ordered) + cap(s.flat)) }
+func (s *Scratch) PinnedBytes() int {
+	return 8*(cap(s.ordered)+cap(s.flat)+cap(s.sample)) + s.tac.pinnedBytes()
+}
 
 // compressWith is CompressField with an explicit codec instance.
 func (e *Encoder) compressWith(codec compress.Compressor, f *Field, bound Bound) (*Compressed, error) {
@@ -357,7 +393,15 @@ func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound,
 		s.flatten.Since(t0)
 		t0 = time.Now()
 	}
-	ordered, err := e.recipe.ApplyTo(scratch.ordered, scratch.flat)
+	recipe := e.recipe
+	if e.auto != nil {
+		var err error
+		if recipe, err = e.pickAuto(codec, f.Name, scratch.flat, bound, &scratch.sample, &scratch.tac); err != nil {
+			s.fail()
+			return nil, err
+		}
+	}
+	ordered, err := recipe.ApplyTo(scratch.ordered, scratch.flat)
 	if err != nil {
 		s.fail()
 		return nil, err
@@ -367,16 +411,23 @@ func (e *Encoder) compressInto(codec compress.Compressor, f *Field, bound Bound,
 		s.reorder.Since(t0)
 		t0 = time.Now()
 	}
-	return e.encodeOrdered(codec, f.Name, ordered, bound, t0)
+	return e.encodeOrdered(codec, recipe, f.Name, ordered, bound, &scratch.tac, t0)
 }
 
-// encodeOrdered runs the codec and container stages over an already
-// reordered stream — the shared tail of compressInto and
-// CompressValuesScratch. t0 is the reorder-stage end time (unused without
-// telemetry).
-func (e *Encoder) encodeOrdered(codec compress.Compressor, name string, ordered []float64, bound Bound, t0 time.Time) (*Compressed, error) {
+// encodeOrdered runs the codec and container stages over a stream already
+// reordered by recipe — the shared tail of compressInto and
+// CompressValuesScratch. The recipe is explicit (rather than e.recipe) so the
+// auto-picker can pass the per-field winner; its layout is what the artifact
+// records. t0 is the reorder-stage end time (unused without telemetry).
+func (e *Encoder) encodeOrdered(codec compress.Compressor, recipe *core.Recipe, name string, ordered []float64, bound Bound, tac *tacFrameScratch, t0 time.Time) (*Compressed, error) {
 	s := e.stats
-	payload, err := codec.Compress(ordered, []int{len(ordered)}, bound)
+	var payload []byte
+	var err error
+	if recipe.Layout() == core.TAC3D {
+		payload, err = tacEncodeStream(codec, e.mesh.Dims(), recipe.TACPlan(), ordered, bound, tac)
+	} else {
+		payload, err = codec.Compress(ordered, []int{len(ordered)}, bound)
+	}
 	if err != nil {
 		s.fail()
 		return nil, err
@@ -399,7 +450,7 @@ func (e *Encoder) encodeOrdered(codec compress.Compressor, name string, ordered 
 	}
 	return &Compressed{
 		FieldName: name,
-		Layout:    e.opt.Layout,
+		Layout:    recipe.Layout(),
 		Curve:     e.opt.Curve,
 		Codec:     e.opt.Codec,
 		NumValues: len(ordered),
@@ -423,7 +474,15 @@ func (e *Encoder) CompressValues(name string, values []float64, bound Bound) (*C
 func (e *Encoder) CompressValuesScratch(name string, values []float64, bound Bound, scratch *Scratch) (*Compressed, error) {
 	s := e.stats
 	t0 := stageStart(s != nil)
-	ordered, err := e.recipe.ApplyTo(scratch.ordered, values)
+	recipe := e.recipe
+	if e.auto != nil {
+		var err error
+		if recipe, err = e.pickAuto(e.codec, name, values, bound, &scratch.sample, &scratch.tac); err != nil {
+			s.fail()
+			return nil, fmt.Errorf("zmesh: field %q: %w", name, err)
+		}
+	}
+	ordered, err := recipe.ApplyTo(scratch.ordered, values)
 	if err != nil {
 		s.fail()
 		return nil, fmt.Errorf("zmesh: field %q: %w", name, err)
@@ -433,7 +492,7 @@ func (e *Encoder) CompressValuesScratch(name string, values []float64, bound Bou
 		s.reorder.Since(t0)
 		t0 = time.Now()
 	}
-	return e.encodeOrdered(e.codec, name, ordered, bound, t0)
+	return e.encodeOrdered(e.codec, recipe, name, ordered, bound, &scratch.tac, t0)
 }
 
 // Decoder decompresses fields back onto a mesh topology. It can be built
@@ -568,7 +627,12 @@ func (d *Decoder) restoreStream(c *Compressed, flatBuf []float64) (flat []float6
 		s.unwrap.Since(t0)
 		t0 = time.Now()
 	}
-	ordered, err := codec.Decompress(payload)
+	var ordered []float64
+	if recipe.Layout() == core.TAC3D {
+		ordered, err = tacDecodeStream(codec, d.mesh.Dims(), recipe.TACPlan(), recipe.Len(), payload)
+	} else {
+		ordered, err = codec.Decompress(payload)
+	}
 	if err != nil {
 		s.fail()
 		return nil, 0, t0, err
@@ -708,8 +772,12 @@ dispatch:
 }
 
 // Serialize flattens a field in the encoder's layout without compressing —
-// used to measure smoothness of the reordered stream.
+// used to measure smoothness of the reordered stream. A LayoutAuto encoder
+// has no single layout to serialize in and returns ErrAutoLayout.
 func (e *Encoder) Serialize(f *Field) ([]float64, error) {
+	if e.auto != nil {
+		return nil, fmt.Errorf("zmesh: %w", ErrAutoLayout)
+	}
 	flat := amr.Flatten(amr.LevelArrays(f))
 	return e.recipe.Apply(flat)
 }

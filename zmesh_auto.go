@@ -1,0 +1,198 @@
+package zmesh
+
+// The per-field layout auto-picker (LayoutAuto). No single order wins
+// everywhere: zMesh's chained-tree order exploits cross-level coherence,
+// TAC's dense boxes exploit in-level spatial neighborhoods, and on
+// already-smooth fields the plain level order is hard to beat once the
+// permutation machinery buys nothing. LayoutAuto resolves the choice per
+// field at encode time: it trial-compresses a small deterministic sample of
+// the field under every candidate layout with the encoder's real codec,
+// picks the layout with the fewest payload bytes per sampled value, and
+// stamps the winner into the artifact's Layout field — the decoder reads the
+// recorded concrete layout and never guesses.
+//
+// Determinism contract: the sample positions are a pure function of
+// (Options.AutoSeed, field name, stream length, candidate set), so two
+// encoders with equal options pick the same layout for the same field and
+// produce byte-identical artifacts. Ties break toward the earliest
+// candidate. This is what lets CI gate auto's ratios exactly and lets
+// replicated servers serve identical bytes.
+
+import (
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+)
+
+// autoCandidates is the closed candidate set, in tie-break priority order.
+// ZMeshBlock is deliberately absent: it is an ablation variant of ZMesh, and
+// sampling it would double the zMesh-family trials for a layout that the
+// experiments show is dominated by cell-granularity zMesh.
+var autoCandidates = []Layout{core.LevelOrder, core.SFCWithinLevel, core.ZMesh, core.TAC3D}
+
+// Auto-picker sampling parameters. Part of the LayoutAuto definition —
+// changing them changes which layout wins marginal fields, so they are
+// constants, not options.
+const (
+	// autoSampleWindows is the number of sample windows (1-D candidates) or
+	// box-walk strides (TAC) drawn per candidate.
+	autoSampleWindows = 8
+	// autoWindowCells is the cell length of one 1-D sample window; the TAC
+	// sampler targets autoSampleWindows*autoWindowCells sampled cells.
+	autoWindowCells = 512
+)
+
+// autoPicker holds the candidate recipes of a LayoutAuto encoder.
+type autoPicker struct {
+	seed    uint64
+	recipes []*core.Recipe // one per autoCandidates entry, same order
+}
+
+// splitmix64 is the sample-position hash — a tiny, well-mixed PRF so window
+// jitter is deterministic without math/rand state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64a hashes the field name into the sample seed (FNV-1a).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// uvarintLen is the encoded size of v as a uvarint — the per-box table
+// overhead the TAC sampler charges so its cost is comparable to the 1-D
+// candidates' overhead-free streams.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// pickAuto trial-compresses samples of the level-order stream flat under
+// every candidate and returns the winning recipe. sample and tac are
+// caller-owned scratch (the candidate-ordered stream and the TAC dense box).
+func (e *Encoder) pickAuto(codec compress.Compressor, name string, flat []float64, bound Bound, sample *[]float64, tac *tacFrameScratch) (*core.Recipe, error) {
+	// Resolve a relative bound over the full stream once: the sample trials
+	// must enforce the same absolute bound the real encode will, and the
+	// resolution is ordering-invariant, so every candidate sees it equally.
+	bound = tacResolveBound(bound, flat)
+	h := splitmix64(e.auto.seed ^ fnv64a(name) ^ uint64(len(flat)))
+	best, bestCost := 0, math.Inf(1)
+	for ci, r := range e.auto.recipes {
+		ordered, err := r.ApplyTo(*sample, flat)
+		if err != nil {
+			return nil, err
+		}
+		*sample = ordered
+		var bytes, cells int
+		if r.Layout() == core.TAC3D {
+			bytes, cells, err = sampleTACBoxes(codec, e.mesh.Dims(), r.TACPlan(), ordered, bound, h, tac)
+		} else {
+			bytes, cells, err = sampleWindows(codec, ordered, bound, h)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cells == 0 {
+			continue
+		}
+		if cost := float64(bytes) / float64(cells); cost < bestCost {
+			best, bestCost = ci, cost
+		}
+	}
+	return e.auto.recipes[best], nil
+}
+
+// sampleWindows trial-compresses jittered, non-overlapping windows of a 1-D
+// ordered stream and returns total payload bytes and cells sampled. The
+// windows are gathered and compressed in ONE codec call: the real 1-D
+// artifact is a single call over the whole stream, so charging the codec's
+// fixed per-call overhead once per window (instead of once per field) would
+// systematically overtax the 1-D candidates against TAC, which genuinely
+// pays per box.
+func sampleWindows(codec compress.Compressor, ordered []float64, bound Bound, h uint64) (bytes, cells int, err error) {
+	n := len(ordered)
+	if n == 0 {
+		return 0, 0, nil
+	}
+	wlen := autoWindowCells
+	if wlen > n {
+		wlen = n
+	}
+	windows := autoSampleWindows
+	if windows*wlen > n {
+		windows = n / wlen
+		if windows < 1 {
+			windows = 1
+		}
+	}
+	stride := n / windows
+	gathered := make([]float64, 0, windows*wlen)
+	for w := 0; w < windows; w++ {
+		base := w * stride
+		// Jitter within the window's stride so refinement-aligned structure
+		// cannot systematically hide from every sample.
+		slack := stride - wlen
+		if w == windows-1 {
+			slack = n - base - wlen
+		}
+		off := base
+		if slack > 0 {
+			off += int(splitmix64(h+uint64(w)) % uint64(slack+1))
+		}
+		gathered = append(gathered, ordered[off:off+wlen]...)
+	}
+	sub, err := codec.Compress(gathered, []int{len(gathered)}, bound)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(sub), len(gathered), nil
+}
+
+// sampleTACBoxes trial-compresses whole boxes of a TAC-ordered stream
+// (dims-aware, exactly as the real frame encoder would) starting from a
+// seeded box and striding through the plan until the cell target is met.
+// Each box is charged its frame table entry so the cost is comparable to the
+// 1-D candidates.
+func sampleTACBoxes(codec compress.Compressor, dims int, plan *core.TACPlan, ordered []float64, bound Bound, h uint64, tac *tacFrameScratch) (bytes, cells int, err error) {
+	nb := plan.NumBoxes()
+	if nb == 0 {
+		return 0, 0, nil
+	}
+	offs := make([]int, nb+1)
+	for i := range plan.Boxes {
+		offs[i+1] = offs[i] + plan.Boxes[i].NumCells
+	}
+	start := int(h % uint64(nb))
+	stride := nb / autoSampleWindows
+	if stride < 1 {
+		stride = 1
+	}
+	target := autoSampleWindows * autoWindowCells
+	for i := 0; i < nb && cells < target; i += stride {
+		bi := (start + i) % nb
+		box := &plan.Boxes[bi]
+		sub, err := tacCompressBox(codec, dims, box, ordered[offs[bi]:offs[bi+1]], bound, tac)
+		if err != nil {
+			return 0, 0, err
+		}
+		bytes += len(sub) + uvarintLen(uint64(len(sub)))
+		cells += box.NumCells
+	}
+	return bytes, cells, nil
+}
