@@ -14,6 +14,17 @@
 // winner); decode paths require the concrete layout the compress response
 // recorded and answer 400 for "auto".
 //
+// Temporal checkpoint store: with -store DIR the daemon persists sealed
+// temporal checkpoints under DIR as content-addressed artifacts and opens
+// the in-situ surface — POST /v1/sessions creates a temporal session, POST
+// /v1/sessions/{sid}/streams/{field}/frames appends keyframe/delta frames,
+// POST /v1/sessions/{sid}/seal makes the checkpoint durable, and GET
+// /v1/checkpoints/{id}[/fields/{name}][?levels=K|tiers=K] serves full or
+// progressive (coarse-levels-first) reads that survive daemon restarts.
+// Sessions idle past -session-ttl are evicted; clients recover by
+// re-attaching with a forced keyframe. Without -store those endpoints
+// answer 503.
+//
 // Telemetry (server.*, encode.*, decode.*, recipe.*) is served on
 // /debug/vars under the "zmeshd" key.
 //
@@ -28,6 +39,7 @@
 //
 //	zmeshd [-addr :8080] [-max-inflight N] [-max-meshes N] [-max-encoders N]
 //	       [-retry-after 1s] [-max-body 1073741824] [-drain-timeout 30s]
+//	       [-store DIR] [-session-ttl 15m] [-max-sessions 256]
 //	       [-cluster-nodes url1,url2,... -cluster-self urlN]
 //	       [-replication 2] [-vnodes 64] [-peer-timeout 5s]
 package main
@@ -58,6 +70,9 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		maxBody      = flag.Int64("max-body", 1<<30, "request body cap in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+		storeDir     = flag.String("store", "", "temporal checkpoint store directory (empty = temporal endpoints disabled)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "evict temporal sessions idle past this duration (0 = default 15m)")
+		maxSessions  = flag.Int("max-sessions", 0, "concurrently attached temporal sessions (0 = default 256)")
 		clusterNodes = flag.String("cluster-nodes", "", "comma-separated advertised URLs of every cluster replica (empty = single-node)")
 		clusterSelf  = flag.String("cluster-self", "", "this replica's advertised URL; must appear in -cluster-nodes")
 		replication  = flag.Int("replication", 0, "owners per mesh in cluster mode (0 = default 2)")
@@ -72,6 +87,9 @@ func main() {
 		RetryAfter:   *retryAfter,
 		MaxBodyBytes: *maxBody,
 		Registry:     zmesh.NewRegistry(),
+		StoreDir:     *storeDir,
+		SessionTTL:   *sessionTTL,
+		MaxSessions:  *maxSessions,
 	}
 	if err := applyClusterFlags(&cfg, *clusterNodes, *clusterSelf, *vnodes, *replication, *peerTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "zmeshd: %v\n", err)

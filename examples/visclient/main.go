@@ -1,0 +1,208 @@
+// Visualization-client demo for the temporal checkpoint store: an in-situ
+// 3-D Sedov run streams snapshots into zmeshd, seals a checkpoint, and a
+// "renderer" then pulls it back progressively — coarse AMR levels first
+// (usable picture immediately, refinement streaming in behind), and as an
+// error-bounded tier cascade where every prefix carries a guaranteed bound.
+//
+// By default the demo boots an in-process daemon over a temporary store
+// directory; point -addr at a running zmeshd (started with -store) to drive
+// a real deployment instead. The demo exits nonzero if progressive delivery
+// ever fails to improve: level reads must strictly reduce the max
+// reconstruction error and end at zero, tier reads must honor their bounds.
+//
+//	go run ./examples/visclient
+//	go run ./examples/visclient -addr http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"os"
+
+	zmesh "repro"
+	"repro/client"
+	"repro/internal/amr"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running zmeshd with -store (empty = in-process daemon)")
+	res := flag.Int("res", 48, "solver resolution (res^3 cells)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		dir, err := os.MkdirTemp("", "zmesh-visclient-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := server.New(server.Config{StoreDir: dir, Registry: zmesh.NewRegistry()})
+		go func() { _ = s.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("booted in-process daemon at %s (store %s)\n\n", base, dir)
+	}
+	if err := run(base, *res); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(base string, res int) error {
+	ctx := context.Background()
+
+	// --- The simulation side: stream an evolving blast in-situ. ---
+	fmt.Printf("running 3-D Sedov blast at %d^3, streaming 3 snapshots...\n", res)
+	p, err := sim.Lookup3D("sedov3d")
+	if err != nil {
+		return err
+	}
+	first, err := sim.GenerateCheckpoint3DAt("sedov3d", res, 0.4, sim.Analytic3DOptions{
+		BlockSize: 8, RootDims: [3]int{2, 2, 2}, MaxDepth: 2, Threshold: 0.35,
+	})
+	if err != nil {
+		return err
+	}
+	quantities := sim.QuantityNames3D()
+	snaps := [][]*zmesh.Field{first.Fields}
+	for _, tScale := range []float64{0.5, 0.6} {
+		g, err := sim.Run3D(p, res, tScale)
+		if err != nil {
+			return err
+		}
+		var fs []*zmesh.Field
+		for _, q := range quantities {
+			fs = append(fs, amr.SampleField(first.Mesh, q, g.Sampler3(q)))
+		}
+		snaps = append(snaps, fs)
+	}
+
+	cl := client.New(base)
+	sess, err := cl.NewTemporalSession(ctx, zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"})
+	if err != nil {
+		return err
+	}
+	bound := zmesh.AbsBound(1e-3)
+	var streamed int
+	for si, fs := range snaps {
+		for _, f := range fs {
+			r, err := sess.Append(ctx, f, bound)
+			if err != nil {
+				return fmt.Errorf("appending %s snapshot %d: %w", f.Name, si, err)
+			}
+			streamed += len(r.Frame.Payload)
+		}
+	}
+	ckpt, err := sess.Seal(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sealed checkpoint %s... (%d quantities x %d snapshots, %d compressed bytes)\n\n",
+		ckpt[:12], len(quantities), len(snaps), streamed)
+
+	// --- The visualization side: knows only the checkpoint id. ---
+	info, err := cl.CheckpointInfo(ctx, ckpt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("checkpoint summary:")
+	for _, f := range info.Fields {
+		fmt.Printf("  %-6s %d snapshots (%d keyframes), %6d bytes, pipeline %s/%s/%s\n",
+			f.Name, f.Snapshots, f.Keyframes, f.Bytes, f.Layout, f.Curve, f.Codec)
+	}
+
+	structure, err := cl.CheckpointStructure(ctx, ckpt, "", -1)
+	if err != nil {
+		return err
+	}
+	dec, err := zmesh.NewDecoderFromStructure(structure)
+	if err != nil {
+		return err
+	}
+	mesh := dec.Mesh()
+	maxLevels := mesh.MaxLevel() + 1
+
+	// Progressive level-of-detail: fetch coarse levels first, prolong them
+	// into a full-resolution preview, and watch the error fall as finer
+	// levels arrive. Levels=maxLevels is the exact reconstruction.
+	fmt.Printf("\nprogressive level-of-detail (last snapshot, %d levels):\n", maxLevels)
+	fmt.Printf("  %-6s", "field")
+	for k := 1; k <= maxLevels; k++ {
+		fmt.Printf("  levels<=%d (cells, max err)", k)
+	}
+	fmt.Println()
+	for _, f := range info.Fields {
+		full, err := cl.ReadField(ctx, ckpt, f.Name, -1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-6s", f.Name)
+		prev := math.Inf(1)
+		for k := 1; k <= maxLevels; k++ {
+			ld, err := cl.ReadFieldLevels(ctx, ckpt, f.Name, -1, k)
+			if err != nil {
+				return err
+			}
+			preview, err := zmesh.ReconstructPartialLevels(mesh, f.Name, ld.Values, k)
+			if err != nil {
+				return err
+			}
+			maxErr := maxAbsDiff(zmesh.FieldValues(preview), full)
+			fmt.Printf("  %8d cells  %9.4g", len(ld.Values), maxErr)
+			if maxErr >= prev {
+				return fmt.Errorf("%s: levels=%d max error %g did not improve on %g", f.Name, k, maxErr, prev)
+			}
+			if k == maxLevels && maxErr != 0 {
+				return fmt.Errorf("%s: full-depth level read is not exact (err %g)", f.Name, maxErr)
+			}
+			prev = maxErr
+		}
+		fmt.Println()
+	}
+
+	// Tiered delivery: each tier tightens the guaranteed bound by 10x; any
+	// prefix of the cascade is a valid bounded-error preview.
+	fmt.Println("\ntiered delivery (dens, last snapshot, guaranteed vs actual max error):")
+	td, err := cl.ReadFieldTiers(ctx, ckpt, "dens", -1, 4)
+	if err != nil {
+		return err
+	}
+	full, err := cl.ReadField(ctx, ckpt, "dens", -1)
+	if err != nil {
+		return err
+	}
+	for k := 1; k <= len(td.Tiers); k++ {
+		preview, err := td.DecodePrefix(k)
+		if err != nil {
+			return err
+		}
+		actual := maxAbsDiff(preview, full)
+		fmt.Printf("  tiers<=%d: guaranteed %.4g, actual %.4g\n", k, td.Bounds[k-1], actual)
+		if actual > td.Bounds[k-1] {
+			return fmt.Errorf("tier prefix %d: actual error %g exceeds guaranteed bound %g", k, actual, td.Bounds[k-1])
+		}
+		if k > 1 && !(td.Bounds[k-1] < td.Bounds[k-2]) {
+			return fmt.Errorf("tier bounds do not strictly decrease: %v", td.Bounds)
+		}
+	}
+	fmt.Println("\nprogressive delivery verified: every refinement strictly improved the picture")
+	return nil
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

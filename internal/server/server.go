@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/core"
+	cstore "repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -78,6 +79,19 @@ type Config struct {
 	// PeerClient overrides the HTTP client used for peer fetches (tests
 	// inject failure modes here). Default: a dedicated http.Client.
 	PeerClient *http.Client
+
+	// StoreDir enables the temporal checkpoint store: sealed checkpoints are
+	// persisted under this directory (see internal/store) and the
+	// /v1/sessions + /v1/checkpoints endpoints come alive. Empty keeps the
+	// stateless behavior of earlier releases (those endpoints answer 503).
+	StoreDir string
+	// SessionTTL evicts temporal sessions idle past this duration (default
+	// 15m). Eviction is safe by construction: the client recovers by
+	// re-creating the session and sending forced keyframes.
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently attached temporal sessions (default
+	// 256); past it, the longest-idle session is evicted.
+	MaxSessions int
 }
 
 func (c *Config) fillDefaults() {
@@ -104,6 +118,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.PeerClient == nil {
 		c.PeerClient = &http.Client{}
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
 	}
 }
 
@@ -154,6 +174,18 @@ type Server struct {
 	checkpointFields  *telemetry.Counter
 	mPeer             *peerMetrics
 	peerClient        *http.Client
+
+	// Temporal checkpoint store (nil unless Config.StoreDir is set) and its
+	// session registry + counters. The counters exist even when the store is
+	// disabled so /debug/vars always carries the full key shape.
+	artifacts       *cstore.Store
+	sessions        *sessionRegistry
+	mSession        *sessionMetrics
+	mStore          *storeMetrics
+	mSessionCreate  *endpointMetrics
+	mSessionFrame   *endpointMetrics
+	mSessionSeal    *endpointMetrics
+	mCheckpointRead *endpointMetrics
 }
 
 // New constructs a server from cfg (zero-value fields get defaults).
@@ -179,6 +211,22 @@ func New(cfg Config) *Server {
 		checkpointFields:  cfg.Registry.Counter("server.checkpoint.fields"),
 		mPeer:             newPeerMetrics(cfg.Registry),
 		peerClient:        cfg.PeerClient,
+		mSession:          newSessionMetrics(cfg.Registry),
+		mStore:            newStoreMetrics(cfg.Registry),
+		mSessionCreate:    newEndpointMetrics(cfg.Registry, "session_create"),
+		mSessionFrame:     newEndpointMetrics(cfg.Registry, "session_frame"),
+		mSessionSeal:      newEndpointMetrics(cfg.Registry, "session_seal"),
+		mCheckpointRead:   newEndpointMetrics(cfg.Registry, "checkpoint_read"),
+	}
+	s.sessions = newSessionRegistry(cfg.SessionTTL, cfg.MaxSessions, s.mSession)
+	if cfg.StoreDir != "" {
+		// A store directory that cannot be opened is a deployment bug every
+		// session would hit; fail loudly like a ring misconfiguration.
+		artifacts, err := cstore.Open(cfg.StoreDir)
+		if err != nil {
+			panic(fmt.Sprintf("server: opening artifact store: %v", err))
+		}
+		s.artifacts = artifacts
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+wire.PathMeshes, s.instrumented(s.mRegister, s.handleRegister))
@@ -187,6 +235,15 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/compress-stream", s.instrumented(s.mCompressStream, s.handleCompressStream))
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/decompress-stream", s.instrumented(s.mDecompressStream, s.handleDecompressStream))
 	mux.HandleFunc("POST "+wire.PathMeshes+"/{id}/checkpoint", s.instrumented(s.mCheckpoint, s.handleCheckpoint))
+	// Temporal checkpoint store endpoints (alive only with Config.StoreDir;
+	// otherwise they answer 503 so clients get an explicit signal rather
+	// than a 404 that looks like a routing bug).
+	mux.HandleFunc("POST "+wire.PathSessions, s.instrumented(s.mSessionCreate, s.handleSessionCreate))
+	mux.HandleFunc("POST "+wire.PathSessions+"/{sid}/streams/{field}/frames", s.instrumented(s.mSessionFrame, s.handleSessionFrame))
+	mux.HandleFunc("POST "+wire.PathSessions+"/{sid}/seal", s.instrumented(s.mSessionSeal, s.handleSessionSeal))
+	mux.HandleFunc("GET "+wire.PathCheckpoints+"/{id}", s.instrumented(s.mCheckpointRead, s.handleCheckpointInfo))
+	mux.HandleFunc("GET "+wire.PathCheckpoints+"/{id}/fields/{field}", s.instrumented(s.mCheckpointRead, s.handleCheckpointField))
+	mux.HandleFunc("GET "+wire.PathCheckpoints+"/{id}/structure", s.instrumented(s.mCheckpointRead, s.handleCheckpointStructure))
 	// Cluster-mode endpoints. Both bypass admission control on purpose:
 	// ring fetches are how clients recover from 421s and structure fetches
 	// are how restarted replicas heal, so neither may be starved by a 429

@@ -95,6 +95,15 @@ func QuantityNames3D() []string { return []string{"dens", "pres", "velx", "vely"
 // hierarchy (density drives refinement), yielding a multi-quantity 3-D
 // checkpoint like the 3-D FLASH datasets in the paper's evaluation.
 func GenerateCheckpoint3D(problem string, resolution int, opt Analytic3DOptions) (*Checkpoint, error) {
+	return GenerateCheckpoint3DAt(problem, resolution, 1, opt)
+}
+
+// GenerateCheckpoint3DAt is GenerateCheckpoint3D stopped at tScale times the
+// problem's end time. Successive tScale values yield the temporally
+// correlated snapshot sequences the temporal delta encoder exploits; each
+// snapshot rebuilds its own hierarchy, so refinement tracks the evolving
+// solution like a real AMR run.
+func GenerateCheckpoint3DAt(problem string, resolution int, tScale float64, opt Analytic3DOptions) (*Checkpoint, error) {
 	p, err := Lookup3D(problem)
 	if err != nil {
 		return nil, err
@@ -105,7 +114,7 @@ func GenerateCheckpoint3D(problem string, resolution int, opt Analytic3DOptions)
 	if opt.BlockSize == 0 {
 		opt = DefaultAnalytic3DOptions()
 	}
-	g, err := Run3D(p, resolution, 1)
+	g, err := Run3D(p, resolution, tScale)
 	if err != nil {
 		return nil, fmt.Errorf("sim: running %s: %w", problem, err)
 	}

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/compress/multilevel"
 	"repro/internal/compress/sz"
 	"repro/internal/compress/zfp"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -187,7 +191,120 @@ func run() error {
 	if err := write(tempDir, "seed-keyframe-bitflip", corpusEntry(true, flipMiddle(frame), m.Structure())); err != nil {
 		return err
 	}
+	if err := temporalWireSeeds(); err != nil {
+		return err
+	}
 	return tacSeeds()
+}
+
+// resealWire frames a hand-built body in the shared ZMT1/ZMM1 envelope
+// (magic + body + CRC32-C over the body), so seeds probing the length and
+// count validation are not rejected by the checksum first.
+func resealWire(magic string, body []byte) []byte {
+	b := append([]byte(magic), body...)
+	crc := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(b, crc)
+}
+
+// temporalWireSeeds writes the ZMT1 temporal-frame and ZMM1 manifest corpora
+// for internal/wire: real keyframe and delta frames off a temporal encoder,
+// their mutations, and handcrafted declared-length/count bombs that must be
+// rejected before any allocation.
+func temporalWireSeeds() error {
+	m, err := zmesh.NewMesh(2, 8, [3]int{2, 1, 1})
+	if err != nil {
+		return err
+	}
+	if err := m.Refine(m.Roots()[0]); err != nil {
+		return err
+	}
+	enc, err := zmesh.NewTemporalEncoder(zmesh.Options{Layout: zmesh.LayoutZMesh, Curve: "hilbert", Codec: "sz"})
+	if err != nil {
+		return err
+	}
+	var frames [][]byte
+	var rows []wire.ManifestFrame
+	for i := 0; i < 2; i++ {
+		phase := 0.3 * float64(i)
+		f := zmesh.SampleField(m, "dens", func(x, y, z float64) float64 {
+			return math.Sin(9*x+phase) * math.Cos(5*y)
+		})
+		tc, err := enc.CompressSnapshot(f, zmesh.AbsBound(1e-3))
+		if err != nil {
+			return err
+		}
+		frame, err := wire.EncodeTemporalFrame(&wire.TemporalFrame{
+			Keyframe: tc.Keyframe, Field: tc.FieldName, Layout: tc.Layout.String(),
+			Curve: tc.Curve, Codec: tc.Codec, NumValues: tc.NumValues,
+			Bound: tc.Bound, Structure: tc.Structure, Payload: tc.Payload,
+		})
+		if err != nil {
+			return err
+		}
+		frames = append(frames, frame)
+		sum := sha256.Sum256(frame)
+		rows = append(rows, wire.ManifestFrame{
+			Keyframe: tc.Keyframe, NumValues: tc.NumValues, Bound: tc.Bound,
+			Bytes: int64(len(frame)), Object: hex.EncodeToString(sum[:]),
+		})
+	}
+
+	frameDir := filepath.Join("internal/wire", "testdata", "fuzz", "FuzzTemporalFrame")
+	if err := write(frameDir, "seed-keyframe", corpusEntry(frames[0])); err != nil {
+		return err
+	}
+	if err := write(frameDir, "seed-delta", corpusEntry(frames[1])); err != nil {
+		return err
+	}
+	if err := write(frameDir, "seed-bitflip", corpusEntry(flipMiddle(frames[0]))); err != nil {
+		return err
+	}
+	if err := write(frameDir, "seed-truncated", corpusEntry(frames[0][:len(frames[0])/2])); err != nil {
+		return err
+	}
+	// A keyframe header whose declared payload length (2^60) dwarfs the
+	// buffer, with a valid CRC so only the length check can reject it.
+	appendStr := func(b []byte, s string) []byte {
+		return append(binary.AppendUvarint(b, uint64(len(s))), s...)
+	}
+	bomb := []byte{1, 1} // version, keyframe flag
+	for _, s := range []string{"dens", "zmesh", "hilbert", "sz"} {
+		bomb = appendStr(bomb, s)
+	}
+	bomb = binary.AppendUvarint(bomb, 128)           // numValues
+	bomb = binary.LittleEndian.AppendUint64(bomb, 0) // bound bits
+	bomb = binary.AppendUvarint(bomb, 4)             // structure len
+	bomb = append(bomb, "mesh"...)                   //
+	bomb = binary.AppendUvarint(bomb, 1<<60)         // payload-length bomb
+	if err := write(frameDir, "seed-payload-len-bomb", corpusEntry(resealWire("ZMT1", bomb))); err != nil {
+		return err
+	}
+
+	manifest, err := wire.EncodeManifest(&wire.Manifest{Fields: []wire.ManifestField{{
+		Name: "dens", Layout: "zmesh", Curve: "hilbert", Codec: "sz", Frames: rows,
+	}}})
+	if err != nil {
+		return err
+	}
+	manifestDir := filepath.Join("internal/wire", "testdata", "fuzz", "FuzzManifest")
+	if err := write(manifestDir, "seed-valid", corpusEntry(manifest)); err != nil {
+		return err
+	}
+	if err := write(manifestDir, "seed-bitflip", corpusEntry(flipMiddle(manifest))); err != nil {
+		return err
+	}
+	if err := write(manifestDir, "seed-truncated", corpusEntry(manifest[:len(manifest)/2])); err != nil {
+		return err
+	}
+	// One field declaring 2^60 frames: the parser must refuse the count
+	// against the remaining bytes before sizing anything from it.
+	mbomb := []byte{1}                     // version
+	mbomb = binary.AppendUvarint(mbomb, 1) // one field
+	for _, s := range []string{"dens", "zmesh", "hilbert", "sz"} {
+		mbomb = appendStr(mbomb, s)
+	}
+	mbomb = binary.AppendUvarint(mbomb, 1<<60) // frame-count bomb
+	return write(manifestDir, "seed-frame-count-bomb", corpusEntry(resealWire("ZMM1", mbomb)))
 }
 
 // tacSeeds writes the zTAC frame corpus for the root package's

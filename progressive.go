@@ -1,0 +1,71 @@
+package zmesh
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+)
+
+// Progressive level-of-detail helpers: the client-side half of zmeshd's
+// level-prefix reads. The level-order stream the pipeline compresses is
+// sorted coarse-to-fine, so a prefix of it is a complete sample of the first
+// K refinement levels — exactly what a visualization client wants to render
+// while the rest is still in flight. LevelPrefixCells says how long that
+// prefix is; ReconstructPartialLevels turns one into a full-resolution field
+// by prolonging the finest delivered level down through the missing ones.
+//
+// Each added level typically shrinks the max point-wise error (and the full
+// prefix is always exact), but piecewise-constant prolongation gives no hard
+// per-step guarantee on discontinuous data — near a shock a finer sample can
+// land on the wrong side of the jump. Readers that need a guaranteed
+// strictly-improving error bound per prefix should use the tiered
+// progressive read (multilevel CompressProgressive), whose tiers carry
+// strictly decreasing bounds by construction.
+
+// LevelPrefixCells returns the number of leading values of a level-order
+// stream over mesh m that cover refinement levels 0..levels-1. levels must
+// be in [1, m.MaxLevel()+1]; at the upper end the prefix is the whole
+// stream.
+func LevelPrefixCells(m *Mesh, levels int) (int, error) {
+	if levels < 1 || levels > m.MaxLevel()+1 {
+		return 0, fmt.Errorf("zmesh: levels %d out of range [1, %d]", levels, m.MaxLevel()+1)
+	}
+	cells := 0
+	for l := 0; l < levels; l++ {
+		cells += len(m.Level(l)) * m.CellsPerBlock()
+	}
+	return cells, nil
+}
+
+// ReconstructPartialLevels builds a full-topology field from a level-order
+// prefix covering the first levels refinement levels of mesh m. Delivered
+// levels are copied verbatim; every block below them is filled by
+// piecewise-constant prolongation from its parent, so the result is defined
+// on every block and converges to the exact field as levels grows. prefix
+// must be exactly LevelPrefixCells(m, levels) values long.
+func ReconstructPartialLevels(m *Mesh, name string, prefix []float64, levels int) (*Field, error) {
+	want, err := LevelPrefixCells(m, levels)
+	if err != nil {
+		return nil, err
+	}
+	if len(prefix) != want {
+		return nil, fmt.Errorf("zmesh: level prefix has %d values, want %d for %d levels", len(prefix), want, levels)
+	}
+	f := amr.NewField(m, name)
+	cpb := m.CellsPerBlock()
+	off := 0
+	for l := 0; l < levels; l++ {
+		for _, id := range m.SortedLevel(l) {
+			copy(f.Data(id), prefix[off:off+cpb])
+			off += cpb
+		}
+	}
+	// Fill the undelivered levels top-down so each parent is complete before
+	// its children sample it.
+	for l := levels; l <= m.MaxLevel(); l++ {
+		for _, id := range m.Level(l) {
+			f.Prolong(id)
+		}
+	}
+	return f, nil
+}

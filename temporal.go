@@ -36,6 +36,11 @@ type TemporalCompressed struct {
 	// Structure is the mesh topology for keyframes (nil on delta frames,
 	// where topology is unchanged by construction).
 	Structure []byte
+	// Bound is the absolute point-wise error bound the frame was encoded
+	// under (the caller's Bound resolved against this snapshot's stream).
+	// Informational: checkpoint manifests record it per frame so progressive
+	// readers can report accuracy. Zero on artifacts that predate the field.
+	Bound float64
 }
 
 // TemporalEncoder compresses a time series of fields. One encoder handles
@@ -71,6 +76,16 @@ func NewTemporalEncoder(opt Options) (*TemporalEncoder, error) {
 	}
 	return &TemporalEncoder{opt: opt, codec: codec}, nil
 }
+
+// ForceKeyframe makes the next CompressSnapshot emit a keyframe even if the
+// topology is unchanged, by discarding the encoder's notion of the previous
+// structure. This is the client-side recovery hook for remote streams: when
+// the receiving end loses its stream state (an evicted or restarted zmeshd
+// session), resending the current snapshot as a keyframe re-establishes
+// lockstep without replaying history. The previous reconstruction is left
+// in place and is simply replaced by the keyframe's own reconstruction on
+// the next successful encode.
+func (te *TemporalEncoder) ForceKeyframe() { te.prevStructure = nil }
 
 // CompressSnapshot encodes the next snapshot of the stream. The field's
 // mesh may differ from the previous snapshot's (regridding); the encoder
@@ -138,6 +153,7 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 			},
 			Keyframe:  true,
 			Structure: structure,
+			Bound:     abs.Value,
 		}, nil
 	}
 	// Delta frame against the previous reconstruction.
@@ -182,6 +198,7 @@ func (te *TemporalEncoder) CompressSnapshot(f *Field, bound Bound) (*TemporalCom
 			FieldName: f.Name, Layout: te.opt.Layout, Curve: te.opt.Curve,
 			Codec: te.opt.Codec, NumValues: len(stream), Payload: wrapped,
 		},
+		Bound: abs.Value,
 	}, nil
 }
 
